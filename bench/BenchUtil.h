@@ -1,0 +1,87 @@
+//===- bench/BenchUtil.h - Shared helpers for the benchmark harness -------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment binaries: parsing a benchmark, running
+/// the pipeline in a given mode, and executing with a given thread count.
+/// Each bench binary regenerates one table or figure of the paper; it
+/// prints the same rows/series the paper reports, then (for CI purposes)
+/// runs a token google-benchmark suite so the binaries behave uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_BENCH_BENCHUTIL_H
+#define IAA_BENCH_BENCHUTIL_H
+
+#include "benchprogs/Benchmarks.h"
+#include "interp/Interpreter.h"
+#include "mf/Parser.h"
+#include "xform/Parallelizer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace iaa {
+namespace bench {
+
+/// Parses MF source, aborting on errors (benchmark inputs are trusted).
+inline std::unique_ptr<mf::Program> parseOrAbort(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "benchmark program failed to parse:\n%s\n",
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return P;
+}
+
+/// One compiled benchmark: program + pipeline result for a mode.
+struct Compiled {
+  std::unique_ptr<mf::Program> Program;
+  xform::PipelineResult Pipeline;
+};
+
+inline Compiled compile(const benchprogs::BenchmarkProgram &B,
+                        xform::PipelineMode Mode) {
+  Compiled C;
+  C.Program = parseOrAbort(B.Source);
+  C.Pipeline = xform::parallelize(*C.Program, Mode);
+  return C;
+}
+
+/// Executes \p C with \p Threads workers; returns wall seconds and fills
+/// \p Stats when given.
+inline double execute(const Compiled &C, unsigned Threads,
+                      interp::ExecStats *Stats = nullptr) {
+  interp::Interpreter I(*C.Program);
+  interp::ExecOptions Opts;
+  interp::ExecStats Local;
+  if (!Stats)
+    Stats = &Local;
+  if (Threads > 1) {
+    Opts.Plans = &C.Pipeline;
+    Opts.Threads = Threads;
+  }
+  I.run(Opts, Stats);
+  return Stats->TotalSeconds;
+}
+
+/// Reads the benchmark scale from IAA_BENCH_SCALE (default 1.0) so CI can
+/// shrink runtimes.
+inline double benchScale() {
+  if (const char *Env = std::getenv("IAA_BENCH_SCALE"))
+    return std::atof(Env);
+  return 1.0;
+}
+
+} // namespace bench
+} // namespace iaa
+
+#endif // IAA_BENCH_BENCHUTIL_H

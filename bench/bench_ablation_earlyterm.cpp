@@ -1,0 +1,111 @@
+//===- bench/bench_ablation_earlyterm.cpp - Early termination ablation ----===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Design-choice ablation for the QuerySolver's worklist discipline
+/// (Sec. 3.2.2): queries are processed in reverse topological order and the
+/// whole solve *early-terminates* on the first kill. A kill site close to
+/// the query point is therefore found after visiting only a handful of
+/// nodes, no matter how much code lies between it and the definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/PropertySolver.h"
+#include "cfg/Hcg.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace iaa;
+using namespace iaa::bench;
+using namespace iaa::analysis;
+
+namespace {
+
+/// \p Filler statements separate the offset definitions from the use; the
+/// kill (a scatter write into off) sits either near the use or near the
+/// definitions.
+std::string killSource(unsigned Filler, bool KillNearUse) {
+  std::string Pad;
+  for (unsigned I = 0; I < Filler; ++I)
+    Pad += "  y(" + std::to_string(I % 90 + 1) + ") = 0.5\n";
+  std::string Kill = "  off(perm(2)) = 9\n";
+  return R"(program killer
+  integer i, j, n, t
+  integer off(101), len(100), perm(10)
+  real data(2000), y(100)
+  n = 100
+  do i = 1, n
+    len(i) = mod(i * 3, 7) + 1
+  end do
+  off(1) = 1
+  do i = 1, n
+    off(i + 1) = off(i) + len(i)
+  end do
+)" + (KillNearUse ? "" : Kill) +
+         Pad + (KillNearUse ? Kill : "") + R"(  use: do i = 1, n
+    do j = 1, len(i)
+      data(off(i) + j - 1) = 1.0
+    end do
+  end do
+end)";
+}
+
+PropertyResult solve(const std::string &Source) {
+  auto P = parseOrAbort(Source);
+  SymbolUses Uses(*P);
+  cfg::Hcg G(*P);
+  PropertySolver Solver(G, Uses);
+  const mf::Symbol *Off = P->findSymbol("off");
+  auto D = ClosedFormDistanceChecker::discoverDistance(*P, Off);
+  ClosedFormDistanceChecker C(Off, *D, Uses);
+  sec::Section S = sec::Section::interval(
+      sym::SymExpr::constant(1), sym::SymExpr::var(P->findSymbol("n")) - 1);
+  return Solver.verifyBefore(P->findLoop("use"), C, S);
+}
+
+void printAblation() {
+  std::printf("\n=== Ablation: early termination on kills (Fig. 5) ===\n");
+  std::printf("%-10s %18s %18s\n", "filler", "kill-near-use",
+              "kill-near-defs");
+  std::printf("%-10s %18s %18s\n", "", "(visits)", "(visits)");
+  for (unsigned Filler : {10u, 100u, 1000u}) {
+    PropertyResult Near = solve(killSource(Filler, /*KillNearUse=*/true));
+    PropertyResult Far = solve(killSource(Filler, /*KillNearUse=*/false));
+    std::printf("%-10u %18u %18u\n", Filler, Near.NodesVisited,
+                Far.NodesVisited);
+    if (Near.Verified || Far.Verified)
+      std::printf("  (unexpected: the kill should defeat the query)\n");
+  }
+  std::printf("\nA kill near the use point terminates the whole solve after "
+              "a constant number of nodes; a kill near the definitions "
+              "costs a walk over the intervening code either way.\n\n");
+}
+
+void BM_KillNearUse(benchmark::State &State) {
+  std::string Src = killSource(static_cast<unsigned>(State.range(0)), true);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solve(Src).NodesVisited);
+}
+
+void BM_KillNearDefs(benchmark::State &State) {
+  std::string Src = killSource(static_cast<unsigned>(State.range(0)), false);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solve(Src).NodesVisited);
+}
+
+BENCHMARK(BM_KillNearUse)->Arg(100)->Arg(1000);
+BENCHMARK(BM_KillNearDefs)->Arg(100)->Arg(1000);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===- examples/gather_scatter.cpp - Gather/scatter privatization ---------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+//
+// The BDNA/P3M scenario (Sec. 4, Fig. 14): each iteration of the outer loop
+// gathers a neighbor list, clears a work array, scatters contributions
+// through the gathered indices, and consumes them. This example shows the
+// three analyses cooperating:
+//
+//   - the single-indexed access analysis proves the gather loop writes
+//     ind[1:q] consecutively (Sec. 2.2);
+//   - the gather-loop recognizer adds injectivity and the value bounds
+//     [1, p] (Sec. 4);
+//   - the privatizer uses the closed-form bound to cover the indirect
+//     reads of the work array (Sec. 5.1.4) and parallelizes the outer loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GatherLoop.h"
+#include "analysis/SingleIndex.h"
+#include "interp/Interpreter.h"
+#include "mf/Parser.h"
+#include "xform/Parallelizer.h"
+
+#include <cstdio>
+
+using namespace iaa;
+using namespace iaa::analysis;
+
+static const char *Source = R"(program nbody
+  integer np, p, i, j, q, jj
+  integer nbr(1000)
+  real work(1000), charge(1000), dist(1000), force(200)
+  np = 200
+  p = 1000
+  do j = 1, p
+    charge(j) = mod(j * 29, 23) * 0.125 + 0.5
+    dist(j) = mod(j * 31, 17) * 0.0625 + 0.25
+  end do
+  do i = 1, np
+    force(i) = 0.0
+  end do
+  outer: do i = 1, np
+    q = 0
+    gather: do j = 1, p
+      if (mod(j * 13 + i, 3) == 0) then
+        q = q + 1
+        nbr(q) = j
+      end if
+    end do
+    do j = 1, p
+      work(j) = 0.0
+    end do
+    do j = 1, q
+      jj = nbr(j)
+      work(jj) = work(jj) + charge(jj) * 0.5
+    end do
+    do j = 1, q
+      jj = nbr(j)
+      force(i) = force(i) + work(jj) / (dist(jj) + 1.0)
+    end do
+  end do
+end)";
+
+int main() {
+  DiagnosticEngine Diags;
+  std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  SymbolUses Uses(*P);
+  const mf::Symbol *Nbr = P->findSymbol("nbr");
+  mf::DoStmt *Gather = P->findLoop("gather");
+
+  // --- The single-indexed view of the gather loop.
+  SingleIndexAnalysis SIA(Gather->body(), Uses);
+  SingleIndexResult SR = SIA.classify(Nbr);
+  std::printf("nbr() in the gather loop: single-indexed=%s (by %s), "
+              "consecutively-written=%s\n",
+              SR.IsSingleIndexed ? "yes" : "no",
+              SR.IndexVar ? SR.IndexVar->name().c_str() : "-",
+              SR.ConsecutivelyWritten ? "yes" : "no");
+
+  // --- Full gather-loop recognition (Sec. 4's five conditions).
+  GatherLoopInfo GI = analyzeGatherLoop(Gather, Nbr, Uses);
+  std::printf("index gathering loop: %s; injective=%s; values in %s\n",
+              GI.IsGatherLoop ? "recognized" : "not recognized",
+              GI.Injective ? "yes" : "no", GI.ValueBounds.str().c_str());
+
+  // --- The pipeline consumes both through the privatizer.
+  xform::PipelineResult Pipe =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  const xform::LoopReport *Rep = Pipe.reportFor("outer");
+  std::printf("\nouter loop: %s\n", Rep->Parallel ? "PARALLEL" : "serial");
+  for (const auto &Pv : Rep->PrivOutcomes) {
+    std::printf("  %-6s -> %s (%s)", Pv.Array->name().c_str(),
+                Pv.Privatizable ? "private" : "exposed", Pv.Reason.c_str());
+    for (const std::string &Prop : Pv.PropertiesUsed)
+      std::printf(" [%s]", Prop.c_str());
+    std::printf("\n");
+  }
+
+  // --- Execute and compare (excluding dead private arrays, whose post-loop
+  // contents are unspecified, as with OpenMP PRIVATE).
+  interp::Interpreter I(*P);
+  interp::Memory Serial = I.run({});
+  interp::ExecOptions Par;
+  Par.Plans = &Pipe;
+  Par.Threads = 4;
+  interp::Memory Parallel = I.run(Par);
+  std::set<unsigned> Dead = interp::deadPrivateIds(Pipe);
+  double A = Serial.checksumExcluding(Dead);
+  double B = Parallel.checksumExcluding(Dead);
+  std::printf("\nserial/parallel checksums: %.6f / %.6f (%s)\n", A, B,
+              A == B ? "match" : "DIVERGE");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: parse a small program with an irregular access, run the
+// parallelization pipeline with and without the irregular array access
+// analyses, and execute it.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "mf/Parser.h"
+#include "xform/Parallelizer.h"
+
+#include <cstdio>
+
+using namespace iaa;
+
+// Fig. 3 of the paper: a sparse-matrix traversal in Compressed Column
+// Storage. The subscript data(offset(i)+j-1) has no closed form in the loop
+// indices — classical dependence tests give up on loop d200.
+static const char *Source = R"(program quickstart
+  integer n, i, j
+  real data(2200), total
+  integer offset(201), length(200)
+  n = 200
+  do i = 1, n
+    length(i) = mod(i * 7, 10) + 1
+  end do
+  offset(1) = 1
+  do i = 1, n
+    offset(i + 1) = offset(i) + length(i)
+  end do
+  d200: do i = 1, n
+    do j = 1, length(i)
+      data(offset(i) + j - 1) = i * 0.5 + j
+    end do
+  end do
+  total = 0.0
+  do i = 1, n
+    total = total + data(offset(i))
+  end do
+end)";
+
+int main() {
+  // 1. Parse.
+  DiagnosticEngine Diags;
+  std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("parsed %u statements, %u symbols\n", P->numStmts(),
+              P->numSymbols());
+
+  // 2. Analyze twice: classical-only, then with the paper's analyses.
+  {
+    auto P2 = mf::parseProgram(Source, Diags);
+    xform::PipelineResult Base =
+        xform::parallelize(*P2, xform::PipelineMode::NoIAA);
+    const xform::LoopReport *R = Base.reportFor("d200");
+    std::printf("\nwithout irregular access analysis: d200 is %s (%s)\n",
+                R->Parallel ? "PARALLEL" : "serial", R->WhyNot.c_str());
+  }
+
+  xform::PipelineResult Full =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  const xform::LoopReport *R = Full.reportFor("d200");
+  std::printf("with irregular access analysis:    d200 is %s\n",
+              R->Parallel ? "PARALLEL" : "serial");
+  for (const auto &D : R->DepOutcomes) {
+    std::printf("  array %s: %s via the %s test", D.Array->name().c_str(),
+                D.Independent ? "independent" : "dependent",
+                deptest::testKindName(D.Test));
+    for (const std::string &Prop : D.PropertiesUsed)
+      std::printf(" [%s]", Prop.c_str());
+    std::printf("\n");
+  }
+
+  // 3. Execute serially and in parallel; results must agree.
+  interp::Interpreter I(*P);
+  interp::Memory Serial = I.run({});
+
+  interp::ExecOptions Par;
+  Par.Plans = &Full;
+  Par.Threads = 4;
+  interp::ExecStats Stats;
+  interp::Memory Parallel = I.run(Par, &Stats);
+
+  std::printf("\nserial checksum   = %.6f\n", Serial.checksum());
+  std::printf("parallel checksum = %.6f (4 threads, %u parallel loop "
+              "executions)\n",
+              Parallel.checksum(), Stats.ParallelLoopRuns);
+  std::printf("%s\n", Serial.checksum() == Parallel.checksum()
+                          ? "results match"
+                          : "RESULTS DIVERGE");
+  return 0;
+}

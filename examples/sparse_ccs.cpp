@@ -1,0 +1,138 @@
+//===- examples/sparse_ccs.cpp - The offset-length test on CCS data -------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+//
+// A deeper look at the paper's core dependence-test machinery on the
+// Compressed Column Storage scenario from the introduction (Figs. 3, 13):
+// the host array is traversed segment by segment through an offset array,
+// and the offset-length test proves the segments disjoint by combining two
+// verified properties of the index arrays:
+//
+//   - offset() has the closed-form distance length() (CFD);
+//   - length() has a non-negative closed-form bound (CFB).
+//
+// This example drives the property analysis directly — the same calls the
+// dependence test makes internally — and prints what it finds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PropertySolver.h"
+#include "cfg/Hcg.h"
+#include "interp/Interpreter.h"
+#include "mf/Parser.h"
+#include "xform/Parallelizer.h"
+
+#include <cstdio>
+
+using namespace iaa;
+using namespace iaa::analysis;
+
+static const char *Source = R"(program spmv
+  ! A sparse matrix-vector multiply in CCS format; the column pointers are
+  ! built from per-column counts in a separate setup procedure (the
+  ! interprocedural case of Sec. 3.2.6).
+  integer n, i, j, nnztot
+  integer colptr(257), colcnt(256), rowind(4000)
+  real vals(4000), xvec(256), yvec(256)
+  procedure buildptr
+    do i = 1, n
+      colcnt(i) = mod(i * 11, 13) + 1
+    end do
+    colptr(1) = 1
+    do i = 1, n
+      colptr(i + 1) = colptr(i) + colcnt(i)
+    end do
+  end
+  n = 256
+  call buildptr
+  nnztot = 14 * n
+  do i = 1, nnztot
+    vals(i) = mod(i * 3, 17) * 0.125
+    rowind(i) = mod(i * 7, n) + 1
+  end do
+  do i = 1, n
+    xvec(i) = i * 0.01
+    yvec(i) = 0.0
+  end do
+  spmv: do i = 1, n
+    do j = 1, colcnt(i)
+      yvec(i) = yvec(i) + vals(colptr(i) + j - 1) * xvec(i)
+    end do
+  end do
+  scale: do i = 1, n
+    do j = 1, colcnt(i)
+      vals(colptr(i) + j - 1) = vals(colptr(i) + j - 1) * 0.99
+    end do
+  end do
+end)";
+
+int main() {
+  DiagnosticEngine Diags;
+  std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  SymbolUses Uses(*P);
+  cfg::Hcg G(*P);
+  PropertySolver Solver(G, Uses);
+  const mf::Symbol *ColPtr = P->findSymbol("colptr");
+  const mf::Symbol *ColCnt = P->findSymbol("colcnt");
+  const mf::Symbol *N = P->findSymbol("n");
+
+  // --- Step 1: discover colptr's closed-form distance from the program
+  // text (the recurrence colptr(i+1) = colptr(i) + colcnt(i)).
+  auto Dist = ClosedFormDistanceChecker::discoverDistance(*P, ColPtr);
+  if (!Dist) {
+    std::printf("no closed-form distance discovered for colptr\n");
+    return 1;
+  }
+  std::printf("discovered distance of colptr(pos): %s\n",
+              Dist->str().c_str());
+
+  // --- Step 2: verify the distance holds on [1 : n-1] at the scale loop
+  // (reverse query propagation through the call to buildptr).
+  ClosedFormDistanceChecker CFD(ColPtr, *Dist, Uses);
+  sec::Section S = sec::Section::interval(sym::SymExpr::constant(1),
+                                          sym::SymExpr::var(N) - 1);
+  PropertyResult R1 = Solver.verifyBefore(P->findLoop("scale"), CFD, S);
+  std::printf("CFD verified: %s (visited %u HCG nodes, %u query splits)\n",
+              R1.Verified ? "yes" : "no", R1.NodesVisited, R1.QueriesSplit);
+
+  // --- Step 3: bound the distance array (colcnt must be non-negative for
+  // the segments to be non-overlapping).
+  ClosedFormBoundChecker CFB(ColCnt, Uses);
+  PropertyResult R2 = Solver.verifyBefore(P->findLoop("scale"), CFB, S);
+  std::printf("CFB verified: %s, colcnt values in %s\n",
+              R2.Verified ? "yes" : "no", CFB.valueBounds().str().c_str());
+
+  // --- Step 4: the full pipeline puts it together.
+  xform::PipelineResult Pipe =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  for (const char *Label : {"spmv", "scale"}) {
+    const xform::LoopReport *Rep = Pipe.reportFor(Label);
+    std::printf("loop %-6s -> %s", Label,
+                Rep->Parallel ? "PARALLEL" : "serial");
+    for (const auto &D : Rep->DepOutcomes)
+      if (D.Test == deptest::TestKind::OffsetLength)
+        std::printf("  (offset-length test on %s)", D.Array->name().c_str());
+    std::printf("\n");
+  }
+
+  // --- Step 5: run it both ways and compare.
+  interp::Interpreter I(*P);
+  interp::Memory Serial = I.run({});
+  interp::ExecOptions Par;
+  Par.Plans = &Pipe;
+  Par.Threads = 4;
+  interp::Memory Parallel = I.run(Par);
+  std::printf("serial/parallel checksums: %.6f / %.6f (%s)\n",
+              Serial.checksum(), Parallel.checksum(),
+              Serial.checksum() == Parallel.checksum() ? "match"
+                                                       : "DIVERGE");
+  return 0;
+}

@@ -1,0 +1,121 @@
+//===- examples/stack_walker.cpp - Array stacks in tree traversals --------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+//
+// The TREE scenario (Sec. 2.3, Fig. 1(b)): an iterative tree walk keeps its
+// worklist in an array used as a stack. The stack pointer is irregular — a
+// conditional push/pop pattern with no closed form — but the Table 1
+// discipline proves the array behaves as a stack, and a stack that is reset
+// at the top of every iteration is privatizable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SingleIndex.h"
+#include "interp/Interpreter.h"
+#include "mf/Parser.h"
+#include "xform/Parallelizer.h"
+
+#include <cstdio>
+
+using namespace iaa;
+using namespace iaa::analysis;
+
+static const char *Source = R"(program walker
+  integer nbody, nn, i, node, sptr
+  integer left(511), right(511), stack(511)
+  real mass(511), acc(256)
+  real s
+  procedure buildtree
+    do i = 1, nn
+      left(i) = i * 2
+      right(i) = i * 2 + 1
+      if (left(i) > nn) then
+        left(i) = 0
+      end if
+      if (right(i) > nn) then
+        right(i) = 0
+      end if
+      mass(i) = mod(i * 5, 7) * 0.5 + 1.0
+    end do
+  end
+  nbody = 256
+  nn = 511
+  call buildtree
+  do i = 1, nbody
+    acc(i) = 0.0
+  end do
+  walk: do i = 1, nbody
+    s = 0.0
+    sptr = 0
+    sptr = sptr + 1
+    stack(sptr) = 1
+    while (sptr > 0)
+      node = stack(sptr)
+      sptr = sptr - 1
+      s = s + mass(node) * (mod(node + i, 5) + 1)
+      if (left(node) > 0) then
+        sptr = sptr + 1
+        stack(sptr) = left(node)
+      end if
+      if (right(node) > 0) then
+        sptr = sptr + 1
+        stack(sptr) = right(node)
+      end if
+    end while
+    acc(i) = acc(i) + s * 0.001
+  end do
+end)";
+
+int main() {
+  DiagnosticEngine Diags;
+  std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // --- Classify stack() within the walk loop's body (Table 1 checks).
+  SymbolUses Uses(*P);
+  mf::DoStmt *Walk = P->findLoop("walk");
+  SingleIndexAnalysis SIA(Walk->body(), Uses);
+  SingleIndexResult SR = SIA.classify(P->findSymbol("stack"));
+  std::printf("stack() in the walk body:\n");
+  std::printf("  single-indexed by: %s\n",
+              SR.IndexVar ? SR.IndexVar->name().c_str() : "-");
+  std::printf("  stack access:      %s\n", SR.StackAccess ? "yes" : "no");
+  if (SR.StackBottom)
+    std::printf("  bottom value:      %s\n", SR.StackBottom->str().c_str());
+
+  // --- The pipeline privatizes the stack and parallelizes the walk.
+  xform::PipelineResult Pipe =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  const xform::LoopReport *Rep = Pipe.reportFor("walk");
+  std::printf("\nwalk loop: %s\n", Rep->Parallel ? "PARALLEL" : "serial");
+  for (const auto &Pv : Rep->PrivOutcomes)
+    std::printf("  %-6s -> %s (%s)\n", Pv.Array->name().c_str(),
+                Pv.Privatizable ? "private" : "exposed", Pv.Reason.c_str());
+
+  // Without the stack analysis the loop must stay serial.
+  auto P2 = mf::parseProgram(Source, Diags);
+  xform::PipelineResult Base =
+      xform::parallelize(*P2, xform::PipelineMode::NoIAA);
+  std::printf("without IAA: walk is %s\n",
+              Base.reportFor("walk")->Parallel ? "PARALLEL" : "serial");
+
+  // --- Execute.
+  interp::Interpreter I(*P);
+  interp::Memory Serial = I.run({});
+  interp::ExecOptions Par;
+  Par.Plans = &Pipe;
+  Par.Threads = 4;
+  interp::Memory Parallel = I.run(Par);
+  std::set<unsigned> Dead = interp::deadPrivateIds(Pipe);
+  double A = Serial.checksumExcluding(Dead);
+  double B = Parallel.checksumExcluding(Dead);
+  std::printf("\nserial/parallel checksums: %.6f / %.6f (%s)\n", A, B,
+              A == B ? "match" : "DIVERGE");
+  return 0;
+}

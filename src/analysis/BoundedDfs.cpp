@@ -1,0 +1,45 @@
+//===- analysis/BoundedDfs.cpp - The bounded DFS of Fig. 2 ----------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BoundedDfs.h"
+
+#include <vector>
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::cfg;
+
+bool iaa::analysis::boundedDfs(const FlatCfg &G, unsigned Start,
+                               const std::function<bool(unsigned)> &FBound,
+                               const std::function<bool(unsigned)> &FJailed,
+                               BdfsStats *Stats) {
+  std::vector<bool> Visited(G.size(), false);
+  std::vector<unsigned> Stack;
+
+  // The iterative equivalent of Fig. 2: a node is pushed only after its
+  // visited flag is set; successors are screened with fjailed before the
+  // visited check.
+  Visited[Start] = true;
+  Stack.push_back(Start);
+  while (!Stack.empty()) {
+    unsigned U = Stack.back();
+    Stack.pop_back();
+    if (Stats)
+      ++Stats->NodesVisited;
+    if (FBound(U))
+      continue; // Boundary: do not expand U's successors.
+    for (unsigned V : G.node(U).Succs) {
+      if (FJailed(V))
+        return false; // Early termination: the whole bDFS fails.
+      if (!Visited[V]) {
+        Visited[V] = true;
+        Stack.push_back(V);
+      }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,48 @@
+//===- analysis/BoundedDfs.h - The bounded DFS of Fig. 2 --------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded depth-first search of Sec. 2.1 (Fig. 2). Two predicates
+/// control the search over a (possibly cyclic) control flow graph:
+///
+///  - fbound(n): nodes at which the search stops expanding (the boundaries);
+///  - fjailed(n): nodes whose *discovery as a successor* terminates the
+///    whole search with failure.
+///
+/// Exactly as in the paper, fjailed is tested on successors before the
+/// visited check, so even re-reaching the start node through a cycle fails
+/// when the start is a jailed node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_ANALYSIS_BOUNDEDDFS_H
+#define IAA_ANALYSIS_BOUNDEDDFS_H
+
+#include "cfg/FlatCfg.h"
+
+#include <functional>
+
+namespace iaa {
+namespace analysis {
+
+/// Statistics for the ablation benchmarks.
+struct BdfsStats {
+  unsigned NodesVisited = 0;
+};
+
+/// Runs the bounded DFS of Fig. 2 from \p Start. The predicates receive node
+/// indices into \p G. Returns true when the search completes (succeeded),
+/// false when a jailed node was reached.
+bool boundedDfs(const cfg::FlatCfg &G, unsigned Start,
+                const std::function<bool(unsigned)> &FBound,
+                const std::function<bool(unsigned)> &FJailed,
+                BdfsStats *Stats = nullptr);
+
+} // namespace analysis
+} // namespace iaa
+
+#endif // IAA_ANALYSIS_BOUNDEDDFS_H

@@ -1,0 +1,79 @@
+//===- analysis/GatherLoop.cpp - Index gathering loop recognition ---------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GatherLoop.h"
+
+#include "analysis/BoundedDfs.h"
+#include "analysis/SingleIndex.h"
+#include "symbolic/SymExpr.h"
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::cfg;
+using namespace iaa::mf;
+
+GatherLoopInfo iaa::analysis::analyzeGatherLoop(const DoStmt *L,
+                                                const Symbol *X,
+                                                const SymbolUses &Uses) {
+  GatherLoopInfo Info;
+  Info.Loop = L;
+  Info.IndexArray = X;
+
+  // Condition (1): a do loop with unit step.
+  if (L->step()) {
+    sym::SymExpr Step = sym::SymExpr::fromAst(L->step());
+    if (!Step.isConstant() || Step.constValue() != 1)
+      return Info;
+  }
+
+  // Conditions (2) and (3): single-indexed and consecutively written.
+  SingleIndexAnalysis SIA(L->body(), Uses);
+  SingleIndexResult SR = SIA.classify(X);
+  if (!SR.IsSingleIndexed || !SR.ConsecutivelyWritten)
+    return Info;
+  // The gathered array must only be written in the loop (reads of ind()
+  // inside the gathering loop would see partially built data).
+  if (SR.HasReads)
+    return Info;
+
+  // Condition (4): every assignment to X stores exactly the loop index.
+  sym::SymExpr LoopIndex = sym::SymExpr::var(L->indexVar());
+  bool AllStoresAreIndex = true;
+  Program::forEachStmtIn(L->body(), [&](Stmt *S) {
+    const auto *AS = dyn_cast<AssignStmt>(S);
+    if (!AS || !AS->arrayTarget() || AS->arrayTarget()->array() != X)
+      return;
+    if (!(sym::SymExpr::fromAst(AS->rhs()) - LoopIndex).isZero())
+      AllStoresAreIndex = false;
+  });
+  if (!AllStoresAreIndex)
+    return Info;
+
+  // Condition (5): one assignment of X cannot reach another without first
+  // reaching the loop header. On the body's flat CFG (whose back edges only
+  // cover *inner* loops), reaching another write of X means two stores in
+  // the same outer iteration — which could duplicate a gathered value.
+  const FlatCfg &G = SIA.graph();
+  auto WritesX = [&](unsigned N) {
+    const auto *AS = dyn_cast_if_present<AssignStmt>(G.node(N).S);
+    return AS && AS->arrayTarget() && AS->arrayTarget()->array() == X;
+  };
+  for (unsigned I = 0; I < G.size(); ++I) {
+    if (!WritesX(I))
+      continue;
+    if (!boundedDfs(G, I, /*FBound=*/[](unsigned) { return false; },
+                    /*FJailed=*/WritesX))
+      return Info;
+  }
+
+  Info.IsGatherLoop = true;
+  Info.Counter = SR.IndexVar;
+  Info.Injective = true;
+  Info.ValueBounds = sym::SymRange::of(sym::SymExpr::fromAst(L->lower()),
+                                       sym::SymExpr::fromAst(L->upper()));
+  return Info;
+}

@@ -1,0 +1,61 @@
+//===- analysis/GatherLoop.h - Index gathering loop recognition -*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recognition of *index gathering loops* (Sec. 4, Fig. 14):
+///
+/// \code
+///   q = 0
+///   do i = 1, p
+///     if (x(i) > 0) then
+///       q = q + 1
+///       ind(q) = i
+///     end if
+///   end do
+/// \endcode
+///
+/// After such a loop the gathered section ind[1:q] is injective, and its
+/// values are bounded by the do-loop bounds [1, p]. The five conditions of
+/// Sec. 4 are checked: (1) a do loop, (2) the index array is single-indexed,
+/// (3) consecutively written, (4) every right-hand side is the loop index,
+/// and (5) no assignment of the index array reaches another without passing
+/// the loop header (verified with a bDFS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_ANALYSIS_GATHERLOOP_H
+#define IAA_ANALYSIS_GATHERLOOP_H
+
+#include "analysis/SymbolUses.h"
+#include "mf/Program.h"
+#include "symbolic/SymRange.h"
+
+namespace iaa {
+namespace analysis {
+
+/// The facts established by recognizing an index gathering loop.
+struct GatherLoopInfo {
+  bool IsGatherLoop = false;
+  const mf::DoStmt *Loop = nullptr;
+  /// The gathered index array (ind in Fig. 14).
+  const mf::Symbol *IndexArray = nullptr;
+  /// The counter variable (q in Fig. 14).
+  const mf::Symbol *Counter = nullptr;
+  /// Value bounds of the gathered elements: the do-loop bounds.
+  sym::SymRange ValueBounds;
+  /// The gathered elements are pairwise distinct.
+  bool Injective = false;
+};
+
+/// Checks whether \p L is an index gathering loop for array \p X.
+GatherLoopInfo analyzeGatherLoop(const mf::DoStmt *L, const mf::Symbol *X,
+                                 const SymbolUses &Uses);
+
+} // namespace analysis
+} // namespace iaa
+
+#endif // IAA_ANALYSIS_GATHERLOOP_H

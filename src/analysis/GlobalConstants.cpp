@@ -1,0 +1,58 @@
+//===- analysis/GlobalConstants.cpp - Single-assignment constants ---------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GlobalConstants.h"
+
+#include "symbolic/SymExpr.h"
+
+#include <map>
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::mf;
+
+GlobalConstants::GlobalConstants(const Program &P) {
+  struct Info {
+    unsigned Defs = 0;
+    bool IsLoopIndex = false;
+    std::optional<int64_t> Value;
+  };
+  std::map<const Symbol *, Info> Scalars;
+
+  P.forEachStmt([&](Stmt *S) {
+    if (const auto *DS = dyn_cast<DoStmt>(S)) {
+      Scalars[DS->indexVar()].IsLoopIndex = true;
+      return;
+    }
+    const auto *AS = dyn_cast<AssignStmt>(S);
+    if (!AS || AS->arrayTarget())
+      return;
+    Info &I = Scalars[AS->writtenSymbol()];
+    ++I.Defs;
+    sym::SymExpr V = sym::SymExpr::fromAst(AS->rhs());
+    if (V.isConstant())
+      I.Value = V.constValue();
+    else
+      I.Value = std::nullopt;
+  });
+
+  for (const auto &[S, I] : Scalars)
+    if (I.Defs == 1 && !I.IsLoopIndex && I.Value)
+      Values[S] = *I.Value;
+}
+
+std::optional<int64_t> GlobalConstants::valueOf(const Symbol *S) const {
+  auto It = Values.find(S);
+  if (It == Values.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void GlobalConstants::bindAll(sym::RangeEnv &Env) const {
+  for (const auto &[S, V] : Values)
+    Env.bindVar(S, sym::SymRange::point(sym::SymExpr::constant(V)));
+}

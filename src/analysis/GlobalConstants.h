@@ -1,0 +1,49 @@
+//===- analysis/GlobalConstants.h - Single-assignment constants -*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program constants: scalars assigned exactly once, with a constant
+/// right-hand side, and never used as a loop index. This is the essential
+/// payload of the interprocedural constant propagation phase that Polaris
+/// runs before the analyses (Fig. 15); problem sizes and segment counts in
+/// the benchmarks are set once at startup, and the provers need their
+/// positivity (e.g. "n >= 1" to rule out zero-trip loops).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_ANALYSIS_GLOBALCONSTANTS_H
+#define IAA_ANALYSIS_GLOBALCONSTANTS_H
+
+#include "mf/Program.h"
+#include "symbolic/SymRange.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace iaa {
+namespace analysis {
+
+/// Scalars with one constant definition in the whole program.
+class GlobalConstants {
+public:
+  explicit GlobalConstants(const mf::Program &P);
+
+  /// The constant value of \p S, if it is a whole-program constant.
+  std::optional<int64_t> valueOf(const mf::Symbol *S) const;
+
+  /// Binds every known constant into \p Env as a point range.
+  void bindAll(sym::RangeEnv &Env) const;
+
+private:
+  std::unordered_map<const mf::Symbol *, int64_t> Values;
+};
+
+} // namespace analysis
+} // namespace iaa
+
+#endif // IAA_ANALYSIS_GLOBALCONSTANTS_H

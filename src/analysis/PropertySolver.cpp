@@ -1,0 +1,466 @@
+//===- analysis/PropertySolver.cpp - Demand-driven query solver -----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PropertySolver.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::cfg;
+using namespace iaa::mf;
+using namespace iaa::sec;
+using namespace iaa::sym;
+
+namespace {
+
+/// A worklist keyed by topological index, popping the highest index first
+/// (the paper's reverse topological order: successors before predecessors).
+/// Entries aimed at the same node are merged with the provided combiner.
+template <typename State> class RTopWorklist {
+public:
+  template <typename MergeFn>
+  void push(HcgNode *N, State S, MergeFn Merge) {
+    auto [It, Inserted] = Pending.try_emplace(N, std::move(S));
+    if (!Inserted)
+      It->second = Merge(It->second, S);
+  }
+
+  bool empty() const { return Pending.empty(); }
+
+  std::pair<HcgNode *, State> pop() {
+    auto Best = Pending.begin();
+    for (auto It = Pending.begin(); It != Pending.end(); ++It)
+      if (It->first->TopoIdx > Best->first->TopoIdx)
+        Best = It;
+    auto Out = std::make_pair(Best->first, std::move(Best->second));
+    Pending.erase(Best);
+    return Out;
+  }
+
+private:
+  std::map<HcgNode *, State> Pending;
+};
+
+bool sectionReferences(const Section &S, const Symbol *Sym) {
+  return S.referencesVar(Sym);
+}
+
+} // namespace
+
+RangeEnv PropertySolver::envOfSection(HcgSection *Sec) const {
+  RangeEnv Env;
+  Consts.bindAll(Env);
+  for (HcgSection *S = Sec; S;) {
+    const DoStmt *L = S->loop();
+    if (!L)
+      break;
+    Env.bindVar(L->indexVar(), SymRange::of(SymExpr::fromAst(L->lower()),
+                                            SymExpr::fromAst(L->upper())));
+    S = S->ownerNode() ? S->ownerNode()->Parent : nullptr;
+  }
+  return Env;
+}
+
+std::optional<SymExpr> PropertySolver::valueBefore(HcgNode *N,
+                                                   const Symbol *S) const {
+  HcgNode *Cur = N;
+  while (Cur->Preds.size() == 1) {
+    Cur = Cur->Preds[0];
+    switch (Cur->K) {
+    case HcgNode::Kind::Entry:
+      return std::nullopt;
+    case HcgNode::Kind::Assign: {
+      const auto *AS = cast<AssignStmt>(Cur->S);
+      if (AS->writtenSymbol() == S) {
+        if (AS->arrayTarget())
+          return std::nullopt;
+        SymExpr V = SymExpr::fromAst(AS->rhs());
+        if (V.isConstant())
+          return V;
+        return std::nullopt;
+      }
+      break;
+    }
+    case HcgNode::Kind::Branch:
+      break;
+    case HcgNode::Kind::Loop:
+    case HcgNode::Kind::While:
+    case HcgNode::Kind::Call:
+      if (Uses.stmtUses(Cur->S).writes(S))
+        return std::nullopt;
+      break;
+    case HcgNode::Kind::Exit:
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyResult PropertySolver::verifyBefore(const Stmt *At,
+                                            PropertyChecker &C,
+                                            const Section &S) {
+  std::optional<TimeRegion> Timing;
+  if (Timer)
+    Timing.emplace(*Timer);
+  PropertyResult R;
+  HcgNode *N = G.nodeFor(At);
+  if (!N || S.isUniverse())
+    return R;
+  if (S.isEmpty()) {
+    R.Verified = true;
+    return R;
+  }
+  InitList Init;
+  for (HcgNode *P : N->Preds)
+    Init.push_back({P, S});
+  R.Verified = chainUp(N->Parent, std::move(Init), C, R, /*Depth=*/0);
+
+  // Facts expressed in terms of symbols overwritten along the way between
+  // their generation site and the query point are stale.
+  if (R.Verified) {
+    UseSet Deps = C.factDependencies();
+    for (const Symbol *Dep : Deps.Reads)
+      if (R.PathWrites.writes(Dep))
+        R.Verified = false;
+  }
+  return R;
+}
+
+bool PropertySolver::chainUp(HcgSection *Sec, InitList Init,
+                             PropertyChecker &C, PropertyResult &R,
+                             unsigned Depth) {
+  if (Depth > MaxDepth)
+    return false;
+  SolveOutcome Out = solveWithin(Sec, Init, C, R, Depth);
+  if (Out.Killed) {
+    R.KilledEarly = true;
+    return false;
+  }
+  if (Out.EntryRemain.isEmpty())
+    return true;
+
+  if (const DoStmt *L = Sec->loop()) {
+    // Fig. 10 (QueryProp_doheader): the query escapes iteration i. Check the
+    // kills of iterations [lo, i-1], subtract their gens, and aggregate the
+    // remainder over the whole iteration space.
+    const Symbol *I = L->indexVar();
+    SymExpr Lo = SymExpr::fromAst(L->lower());
+    SymExpr Up = SymExpr::fromAst(L->upper());
+    RangeEnv Env = envOfSection(Sec);
+    Effect BodyEff = summarizeSectionEffect(Sec, C, R, Depth + 1);
+    UseSet BodyU = Uses.bodyUses(L->body());
+    for (const Symbol *W : BodyU.Writes) {
+      if (W->isArray() || W == I)
+        continue;
+      if (BodyEff.Kill.referencesVar(W))
+        BodyEff.Kill = Section::universe();
+      if (BodyEff.Gen.referencesVar(W))
+        BodyEff.Gen = Section::empty();
+    }
+    SymExpr IV = SymExpr::var(I);
+    Section KillPrev =
+        Section::aggregateMay(BodyEff.Kill, I, Lo, IV - 1, Env);
+    if (Section::mayIntersect(Out.EntryRemain, KillPrev, Env)) {
+      R.KilledEarly = true;
+      return false;
+    }
+    Section GenPrev =
+        Section::aggregateMust(BodyEff.Gen, I, Lo, IV - 1, Env);
+    Section RemainI = Section::subtractMay(Out.EntryRemain, GenPrev, Env);
+    Section Remain = Section::aggregateMay(RemainI, I, Lo, Up, Env);
+    if (Remain.isEmpty())
+      return true;
+    HcgNode *Owner = Sec->ownerNode();
+    InitList Up2;
+    for (HcgNode *P : Owner->Preds)
+      Up2.push_back({P, Remain});
+    return chainUp(Owner->Parent, std::move(Up2), C, R, Depth + 1);
+  }
+
+  // Fig. 12 (query splitting): the query reaches a procedure head.
+  Procedure *Proc = Sec->procedure();
+  if (!Proc || Proc->name() == "main")
+    return false; // Program entry reached with an unresolved remainder.
+  const std::vector<HcgNode *> &Sites = G.callSites(Proc);
+  if (Sites.empty())
+    return false;
+  R.QueriesSplit += static_cast<unsigned>(Sites.size());
+  for (HcgNode *Site : Sites) {
+    InitList SiteInit;
+    for (HcgNode *P : Site->Preds)
+      SiteInit.push_back({P, Out.EntryRemain});
+    if (!chainUp(Site->Parent, std::move(SiteInit), C, R, Depth + 1))
+      return false;
+  }
+  return true;
+}
+
+PropertySolver::SolveOutcome
+PropertySolver::solveWithin(HcgSection *Sec, const InitList &Init,
+                            PropertyChecker &C, PropertyResult &R,
+                            unsigned Depth) {
+  SolveOutcome Out;
+  if (Depth > MaxDepth) {
+    Out.Killed = true;
+    return Out;
+  }
+  RangeEnv Env = envOfSection(Sec);
+  RTopWorklist<Section> Worklist;
+  auto MergeMay = [&](const Section &A, const Section &B) {
+    return Section::unionMay(A, B, Env);
+  };
+  for (const auto &[N, S] : Init)
+    Worklist.push(N, S, MergeMay);
+
+  while (!Worklist.empty()) {
+    auto [N, Set] = Worklist.pop();
+    ++R.NodesVisited;
+
+    if (N == Sec->entry()) {
+      Out.EntryRemain = Section::unionMay(Out.EntryRemain, Set, Env);
+      continue;
+    }
+
+    Effect Eff = Effect::none();
+    // Symbols this node may write; a remainder still expressed in terms of
+    // one of them refers to a value that changes across the node, so the
+    // query must die (the stale-section rule).
+    UseSet NodeWrites;
+    switch (N->K) {
+    case HcgNode::Kind::Entry:
+    case HcgNode::Kind::Exit:
+    case HcgNode::Kind::Branch:
+      break;
+    case HcgNode::Kind::Assign: {
+      const auto *AS = cast<AssignStmt>(N->S);
+      R.PathWrites.Writes.insert(AS->writtenSymbol());
+      if (!AS->arrayTarget())
+        NodeWrites.Writes.insert(AS->writtenSymbol());
+      Eff = C.summarizeAssign(AS);
+      break;
+    }
+    case HcgNode::Kind::While: {
+      UseSet U = Uses.stmtUses(N->S);
+      R.PathWrites.merge(U);
+      NodeWrites = U;
+      if (U.writes(C.targetArray()))
+        Eff = Effect::killAll();
+      break;
+    }
+    case HcgNode::Kind::Call: {
+      const auto *CS = cast<CallStmt>(N->S);
+      Procedure *Callee = CS->callee();
+      if (!Callee) {
+        Out.Killed = true;
+        return Out;
+      }
+      // Fig. 11: a new query problem rooted at the callee's entry; the
+      // query continues at this call's predecessors with whatever survives.
+      HcgSection *CalleeSec = G.procSection(Callee);
+      SolveOutcome Sub = solveWithin(
+          CalleeSec, {{CalleeSec->exit(), Set}}, C, R, Depth + 1);
+      if (Sub.Killed) {
+        Out.Killed = true;
+        return Out;
+      }
+      if (Sub.EntryRemain.isEmpty())
+        continue;
+      // The remainder continues above the call: it must not be expressed
+      // in terms of anything the callee writes.
+      for (const Symbol *W : Uses.procedureUses(Callee).Writes)
+        if (sectionReferences(Sub.EntryRemain, W)) {
+          Out.Killed = true;
+          return Out;
+        }
+      for (HcgNode *P : N->Preds)
+        Worklist.push(P, Sub.EntryRemain, MergeMay);
+      continue;
+    }
+    case HcgNode::Kind::Loop: {
+      bool Fatal = false;
+      Eff = effectOfLoopNode(N, C, R, Depth + 1, Fatal);
+      if (Fatal) {
+        Out.Killed = true;
+        return Out;
+      }
+      NodeWrites = Uses.stmtUses(N->S);
+      break;
+    }
+    }
+
+    // Fig. 6: remain := set - Gen; killed when Kill meets the remainder.
+    Section Remain = Section::subtractMay(Set, Eff.Gen, Env);
+    if (Section::mayIntersect(Eff.Kill, Remain, Env)) {
+      Out.Killed = true;
+      return Out;
+    }
+    if (Remain.isEmpty())
+      continue;
+    for (const Symbol *W : NodeWrites.Writes)
+      if (sectionReferences(Remain, W)) {
+        Out.Killed = true;
+        return Out;
+      }
+    for (HcgNode *P : N->Preds)
+      Worklist.push(P, Remain, MergeMay);
+  }
+  return Out;
+}
+
+Effect PropertySolver::effectOfLoopNode(HcgNode *N, PropertyChecker &C,
+                                        PropertyResult &R, unsigned Depth,
+                                        bool &Fatal) {
+  const auto *L = cast<DoStmt>(N->S);
+  LoopContext Ctx;
+  Ctx.ValueBefore = [this, N](const Symbol *S) { return valueBefore(N, S); };
+
+  // Whole-loop pattern match first (gather loops etc.). Its facts are
+  // expressed in terms of post-loop values, so the loop's own writes are
+  // deliberately *not* added to PathWrites here.
+  if (std::optional<Effect> Whole = C.summarizeLoop(L, Ctx))
+    return *Whole;
+
+  // Generic path (Sec. 3.2.5): aggregate the body's per-iteration effect.
+  UseSet BodyU = Uses.bodyUses(L->body());
+  R.PathWrites.merge(BodyU);
+
+  // The loop bounds must be loop-invariant and the step must be one.
+  UseSet BoundReads;
+  SymbolUses::exprReads(L->lower(), BoundReads);
+  SymbolUses::exprReads(L->upper(), BoundReads);
+  for (const Symbol *S : BoundReads.Reads)
+    if (BodyU.writes(S))
+      return Effect::killAll();
+  if (L->step()) {
+    SymExpr Step = SymExpr::fromAst(L->step());
+    if (!Step.isConstant() || Step.constValue() != 1)
+      return BodyU.writes(C.targetArray()) ? Effect::killAll()
+                                           : Effect::none();
+  }
+  (void)Fatal;
+
+  ++R.LoopsSummarized;
+  Effect BodyEff = summarizeSectionEffect(N->BodySection, C, R, Depth + 1);
+
+  const Symbol *I = L->indexVar();
+  SymExpr Lo = SymExpr::fromAst(L->lower());
+  SymExpr Up = SymExpr::fromAst(L->upper());
+  RangeEnv Env = envOfSection(N->BodySection);
+
+  // A per-iteration section whose bounds mention a scalar the body itself
+  // writes is not a fixed function of the index: widen Kill, drop Gen.
+  for (const Symbol *W : BodyU.Writes) {
+    if (W->isArray() || W == I)
+      continue;
+    if (BodyEff.Kill.referencesVar(W))
+      BodyEff.Kill = Section::universe();
+    if (BodyEff.Gen.referencesVar(W))
+      BodyEff.Gen = Section::empty();
+  }
+
+  Section Kill = Section::aggregateMay(BodyEff.Kill, I, Lo, Up, Env);
+  // Gen: what iteration i generates and no later iteration kills,
+  // aggregated over all iterations (Sec. 3.2.5).
+  SymExpr IV = SymExpr::var(I);
+  Section KillAfter =
+      Section::aggregateMay(BodyEff.Kill, I, IV + 1, Up, Env);
+  Section GenEff = Section::subtractMust(BodyEff.Gen, KillAfter, Env);
+  Section Gen = Section::aggregateMust(GenEff, I, Lo, Up, Env);
+  return {Kill, Gen};
+}
+
+Effect PropertySolver::summarizeSectionEffect(HcgSection *Sec,
+                                              PropertyChecker &C,
+                                              PropertyResult &R,
+                                              unsigned Depth) {
+  if (Depth > MaxDepth)
+    return Effect::killAll();
+  RangeEnv Env = envOfSection(Sec);
+
+  struct GenState {
+    Section Gen;        // MUST: generated after this node.
+    Section KillShadow; // MAY: killed after this node.
+  };
+  RTopWorklist<GenState> Worklist;
+  auto Merge = [&](const GenState &A, const GenState &B) {
+    return GenState{Section::intersectMust(A.Gen, B.Gen, Env),
+                    Section::unionMay(A.KillShadow, B.KillShadow, Env)};
+  };
+
+  Section Kill = Section::empty();
+  Section GenResult = Section::empty();
+  Worklist.push(Sec->exit(), GenState{}, Merge);
+
+  while (!Worklist.empty()) {
+    auto [N, State] = Worklist.pop();
+    ++R.NodesVisited;
+    if (N == Sec->entry()) {
+      GenResult = State.Gen;
+      break;
+    }
+
+    Effect Eff = Effect::none();
+    switch (N->K) {
+    case HcgNode::Kind::Entry:
+    case HcgNode::Kind::Exit:
+    case HcgNode::Kind::Branch:
+      break;
+    case HcgNode::Kind::Assign:
+      R.PathWrites.Writes.insert(cast<AssignStmt>(N->S)->writtenSymbol());
+      Eff = C.summarizeAssign(cast<AssignStmt>(N->S));
+      break;
+    case HcgNode::Kind::While: {
+      UseSet U = Uses.stmtUses(N->S);
+      R.PathWrites.merge(U);
+      if (U.writes(C.targetArray()))
+        Eff = Effect::killAll();
+      break;
+    }
+    case HcgNode::Kind::Call: {
+      const auto *CS = cast<CallStmt>(N->S);
+      if (!CS->callee()) {
+        Eff = Effect::killAll();
+        break;
+      }
+      // SummarizeProcedure: with global-variable communication the callee's
+      // body summary is the call's effect.
+      Eff = summarizeSectionEffect(G.procSection(CS->callee()), C, R,
+                                   Depth + 1);
+      break;
+    }
+    case HcgNode::Kind::Loop: {
+      bool Fatal = false;
+      Eff = effectOfLoopNode(N, C, R, Depth + 1, Fatal);
+      break;
+    }
+    }
+
+    // Fig. 9 with a kill shadow: a Gen contribution only counts if no later
+    // node may kill it.
+    Section GenEffective = Section::subtractMust(Eff.Gen, State.KillShadow, Env);
+    Section GenHere = Section::unionMust(State.Gen, GenEffective, Env);
+
+    if (Eff.Kill.isUniverse()) {
+      // Early termination (Fig. 9 lines 21-24): everything before this node
+      // is masked. Only a node on all paths can vouch for the Gen snapshot.
+      Kill = Section::universe();
+      GenResult = N->OnAllPaths ? GenHere : Section::empty();
+      return {Kill, GenResult};
+    }
+
+    Kill = Section::unionMay(Kill, Section::subtractMay(Eff.Kill, State.Gen, Env),
+                             Env);
+    GenState Next{GenHere,
+                  Section::unionMay(State.KillShadow, Eff.Kill, Env)};
+    for (HcgNode *P : N->Preds)
+      Worklist.push(P, Next, Merge);
+  }
+  return {Kill, GenResult};
+}

@@ -1,0 +1,125 @@
+//===- analysis/PropertySolver.h - Demand-driven query solver ---*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The demand-driven interprocedural array property analysis of Sec. 3.2:
+/// queries (node, section) are propagated in reverse over the HCG until they
+/// are fully generated (answer: true) or a kill is met (early termination,
+/// answer: false). The implementation mirrors the paper's figures:
+///
+///  - QuerySolver (Fig. 5): a worklist ordered by reverse topological
+///    position; add_union merging of queries aimed at the same node.
+///  - QueryProp (Fig. 6): remain := set - Gen; killed := Kill intersects
+///    remain.
+///  - SummarizeProgSection (Fig. 9): backward Gen/Kill summarization with
+///    add_intersect merging and early termination on a universal kill.
+///  - QueryProp_doheader (Fig. 10): a query escaping iteration i of a loop
+///    is checked against the aggregated kills of iterations < i, reduced by
+///    their aggregated gens, then aggregated over all i.
+///  - Interprocedural propagation (Fig. 11) at call nodes and query
+///    splitting (Fig. 12) at procedure heads.
+///
+/// One engineering deviation, documented here because it matters for
+/// soundness: Fig. 9 accumulates Gen along a path as a plain union, which
+/// can claim an element generated early and killed later. We additionally
+/// thread a *kill shadow* (MAY) along each path and mask Gen contributions
+/// with it, so the returned Gen is a true MUST set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_ANALYSIS_PROPERTYSOLVER_H
+#define IAA_ANALYSIS_PROPERTYSOLVER_H
+
+#include "analysis/ArrayProperty.h"
+#include "analysis/GlobalConstants.h"
+#include "cfg/Hcg.h"
+#include "support/Timer.h"
+
+namespace iaa {
+namespace analysis {
+
+/// Outcome and statistics of one property verification.
+struct PropertyResult {
+  bool Verified = false;
+  /// True when the solve ended on a kill (the paper's early termination).
+  bool KilledEarly = false;
+  /// Symbols written by nodes the query passed through (excluding the
+  /// interiors of pattern-matched generating loops); facts that mention any
+  /// of these were invalidated and the result is forced to false.
+  UseSet PathWrites;
+  unsigned NodesVisited = 0;
+  unsigned QueriesSplit = 0;
+  unsigned LoopsSummarized = 0;
+};
+
+/// The QueryChecker of Fig. 4: drives reverse query propagation for one
+/// PropertyChecker over the whole-program HCG.
+class PropertySolver {
+public:
+  PropertySolver(cfg::Hcg &G, const SymbolUses &Uses)
+      : G(G), Uses(Uses), Consts(G.program()) {}
+
+  /// When set, verifyBefore accumulates its wall-clock time into \p T
+  /// (Table 2 reports the fraction of compile time spent here).
+  void setTimer(AccumulatingTimer *T) { Timer = T; }
+
+  /// Verifies that the checker's property holds for \p S of the target
+  /// array whenever control reaches the point *just before* statement
+  /// \p At. This is where demand generators anchor their queries: a
+  /// dependence test asks before the loop it is testing, the privatizer
+  /// before the statement whose read it wants to bound.
+  PropertyResult verifyBefore(const mf::Stmt *At, PropertyChecker &C,
+                              const sec::Section &S);
+
+private:
+  struct SolveOutcome {
+    bool Killed = false;
+    sec::Section EntryRemain;
+  };
+  using InitList = std::vector<std::pair<cfg::HcgNode *, sec::Section>>;
+
+  /// Solves within \p Sec and keeps climbing (loop headers per Fig. 10,
+  /// procedure heads per Fig. 12) until the query is resolved.
+  bool chainUp(cfg::HcgSection *Sec, InitList Init, PropertyChecker &C,
+               PropertyResult &R, unsigned Depth);
+
+  /// Fig. 5 within one section; stops at the section entry.
+  SolveOutcome solveWithin(cfg::HcgSection *Sec, const InitList &Init,
+                           PropertyChecker &C, PropertyResult &R,
+                           unsigned Depth);
+
+  /// Effect of a Loop node seen from outside (case 1 of Fig. 7): a
+  /// whole-loop checker match or the generic aggregation of Sec. 3.2.5.
+  Effect effectOfLoopNode(cfg::HcgNode *N, PropertyChecker &C,
+                          PropertyResult &R, unsigned Depth, bool &Fatal);
+
+  /// Fig. 9: per-execution (Kill, Gen) of a section.
+  Effect summarizeSectionEffect(cfg::HcgSection *Sec, PropertyChecker &C,
+                                PropertyResult &R, unsigned Depth);
+
+  /// The value of scalar \p S immediately before node \p N, when a
+  /// dominating constant assignment is visible in the same section.
+  std::optional<sym::SymExpr> valueBefore(cfg::HcgNode *N,
+                                          const mf::Symbol *S) const;
+
+  /// RangeEnv binding the loop indices of every section enclosing \p Sec.
+  sym::RangeEnv envOfSection(cfg::HcgSection *Sec) const;
+
+  cfg::Hcg &G;
+  const SymbolUses &Uses;
+  /// Whole-program constants: the residue of the constant propagation phase
+  /// Polaris runs before the analyses (Fig. 15); needed to prove loop
+  /// bounds positive (zero-trip exclusion) during aggregation.
+  GlobalConstants Consts;
+  AccumulatingTimer *Timer = nullptr;
+  static constexpr unsigned MaxDepth = 64;
+};
+
+} // namespace analysis
+} // namespace iaa
+
+#endif // IAA_ANALYSIS_PROPERTYSOLVER_H

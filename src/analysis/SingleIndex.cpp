@@ -1,0 +1,337 @@
+//===- analysis/SingleIndex.cpp - Irregular single-indexed accesses -------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SingleIndex.h"
+
+#include "analysis/BoundedDfs.h"
+#include "symbolic/SymExpr.h"
+
+#include <map>
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::cfg;
+using namespace iaa::mf;
+
+namespace {
+
+/// Collects every ArrayRef of \p X inside \p E into \p Out.
+void collectRefs(const Expr *E, const Symbol *X,
+                 std::vector<const ArrayRef *> &Out) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::RealLit:
+  case ExprKind::VarRef:
+    return;
+  case ExprKind::ArrayRef: {
+    const auto *AR = cast<ArrayRef>(E);
+    if (AR->array() == X)
+      Out.push_back(AR);
+    for (const Expr *Sub : AR->subscripts())
+      collectRefs(Sub, X, Out);
+    return;
+  }
+  case ExprKind::Unary:
+    collectRefs(cast<UnaryExpr>(E)->operand(), X, Out);
+    return;
+  case ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    collectRefs(BE->lhs(), X, Out);
+    collectRefs(BE->rhs(), X, Out);
+    return;
+  }
+  }
+}
+
+/// Expressions evaluated by the statement a node represents, *excluding*
+/// nested bodies (those have their own nodes).
+std::vector<const Expr *> nodeExprs(const FlatNode &N, bool &IsAssign,
+                                    const AssignStmt *&AS) {
+  IsAssign = false;
+  AS = nullptr;
+  std::vector<const Expr *> Exprs;
+  if (!N.S)
+    return Exprs;
+  switch (N.S->kind()) {
+  case StmtKind::Assign: {
+    IsAssign = true;
+    AS = cast<AssignStmt>(N.S);
+    Exprs.push_back(AS->rhs());
+    if (const mf::ArrayRef *Target = AS->arrayTarget())
+      for (const Expr *Sub : Target->subscripts())
+        Exprs.push_back(Sub);
+    return Exprs;
+  }
+  case StmtKind::If:
+    Exprs.push_back(cast<IfStmt>(N.S)->condition());
+    return Exprs;
+  case StmtKind::Do: {
+    const auto *DS = cast<DoStmt>(N.S);
+    Exprs.push_back(DS->lower());
+    Exprs.push_back(DS->upper());
+    if (DS->step())
+      Exprs.push_back(DS->step());
+    return Exprs;
+  }
+  case StmtKind::While:
+    Exprs.push_back(cast<WhileStmt>(N.S)->condition());
+    return Exprs;
+  case StmtKind::Call:
+    return Exprs;
+  }
+  return Exprs;
+}
+
+} // namespace
+
+SingleIndexAnalysis::SingleIndexAnalysis(const StmtList &Region,
+                                         const SymbolUses &Uses)
+    : Region(Region), Uses(Uses), Cfg(Region, /*IncludeBackEdges=*/true) {}
+
+std::optional<const Symbol *>
+SingleIndexAnalysis::findSingleIndexVar(const Symbol *X) const {
+  if (X->rank() != 1)
+    return std::nullopt;
+  const Symbol *IndexVar = nullptr;
+  for (unsigned I = 0; I < Cfg.size(); ++I) {
+    const FlatNode &N = Cfg.node(I);
+    bool IsAssign;
+    const AssignStmt *AS;
+    std::vector<const Expr *> Exprs = nodeExprs(N, IsAssign, AS);
+    std::vector<const mf::ArrayRef *> Refs;
+    for (const Expr *E : Exprs)
+      collectRefs(E, X, Refs);
+    if (IsAssign && AS->arrayTarget() && AS->arrayTarget()->array() == X)
+      Refs.push_back(AS->arrayTarget());
+    for (const mf::ArrayRef *AR : Refs) {
+      const auto *VR = dyn_cast<VarRef>(AR->subscript(0));
+      if (!VR)
+        return std::nullopt;
+      if (IndexVar && IndexVar != VR->symbol())
+        return std::nullopt;
+      IndexVar = VR->symbol();
+    }
+    // A call that may touch X hides accesses from this region-level view.
+    if (N.S && N.S->kind() == StmtKind::Call) {
+      const auto *CS = cast<CallStmt>(N.S);
+      if (CS->callee() && Uses.procedureUses(CS->callee()).touches(X))
+        return std::nullopt;
+    }
+  }
+  if (!IndexVar)
+    return std::nullopt;
+  return IndexVar;
+}
+
+std::vector<SingleIndexAnalysis::NodeFlags>
+SingleIndexAnalysis::classifyNodes(const Symbol *X, const Symbol *P) const {
+  std::vector<NodeFlags> Flags(Cfg.size());
+  sym::SymExpr PVar = sym::SymExpr::var(P);
+  for (unsigned I = 0; I < Cfg.size(); ++I) {
+    const FlatNode &N = Cfg.node(I);
+    NodeFlags &F = Flags[I];
+    bool IsAssign;
+    const AssignStmt *AS;
+    std::vector<const Expr *> Exprs = nodeExprs(N, IsAssign, AS);
+
+    // Reads of x(p) anywhere in the node's expressions.
+    std::vector<const mf::ArrayRef *> Refs;
+    for (const Expr *E : Exprs)
+      collectRefs(E, X, Refs);
+    F.ReadsX = !Refs.empty();
+
+    if (N.S && N.S->kind() == StmtKind::Call) {
+      const auto *CS = cast<CallStmt>(N.S);
+      const UseSet &U =
+          CS->callee() ? Uses.procedureUses(CS->callee()) : UseSet();
+      if (U.touches(X) || U.writes(P))
+        F.Spoil = true;
+      if (U.reads(P)) {
+        // Reading p in a callee is harmless for the evolution analysis.
+      }
+      continue;
+    }
+
+    if (N.S && N.S->kind() == StmtKind::Do &&
+        cast<DoStmt>(N.S)->indexVar() == P)
+      F.OtherDefP = true; // p reused as a loop index: a non-unit definition.
+
+    if (!IsAssign)
+      continue;
+
+    if (AS->arrayTarget() && AS->arrayTarget()->array() == X)
+      F.WritesX = true;
+
+    if (!AS->arrayTarget() && AS->writtenSymbol() == P) {
+      sym::SymExpr Rhs = sym::SymExpr::fromAst(AS->rhs());
+      if ((Rhs - PVar - 1).isZero())
+        F.IncP = true;
+      else if ((Rhs - PVar + 1).isZero())
+        F.DecP = true;
+      else if (!Rhs.references(P))
+        F.ResetP = true;
+      else
+        F.OtherDefP = true;
+    }
+  }
+  return Flags;
+}
+
+SingleIndexResult SingleIndexAnalysis::classify(const Symbol *X) const {
+  SingleIndexResult R;
+  std::optional<const Symbol *> IndexVar = findSingleIndexVar(X);
+  if (!IndexVar)
+    return R;
+  const Symbol *P = *IndexVar;
+  R.IsSingleIndexed = true;
+  R.IndexVar = P;
+
+  std::vector<NodeFlags> Flags = classifyNodes(X, P);
+
+  bool AnySpoil = false, AnyOtherDef = false, AnyDec = false, AnyReset = false;
+  bool AnyInc = false, AnyReadWrite = false;
+  const Expr *Bottom = nullptr;
+  bool BottomConsistent = true;
+  for (unsigned I = 0; I < Cfg.size(); ++I) {
+    const NodeFlags &F = Flags[I];
+    AnySpoil |= F.Spoil;
+    AnyOtherDef |= F.OtherDefP;
+    AnyDec |= F.DecP;
+    AnyInc |= F.IncP;
+    AnyReset |= F.ResetP;
+    if (F.WritesX)
+      R.HasWrites = true;
+    if (F.ReadsX)
+      R.HasReads = true;
+    if (F.WritesX && F.ReadsX)
+      AnyReadWrite = true;
+    if (F.ResetP) {
+      const auto *AS = cast<AssignStmt>(Cfg.node(I).S);
+      if (!Bottom)
+        Bottom = AS->rhs();
+      else if (!(sym::SymExpr::fromAst(Bottom) -
+                 sym::SymExpr::fromAst(AS->rhs()))
+                    .isZero())
+        BottomConsistent = false;
+    }
+  }
+
+  if (AnySpoil || AnyOtherDef)
+    return R;
+
+  // --- Consecutively written (Sec. 2.2): p only incremented, and every
+  // path between two increments writes x.
+  if (!AnyDec && !AnyReset && AnyInc && !AnyReadWrite) {
+    bool CW = true;
+    for (unsigned I = 0; I < Cfg.size() && CW; ++I) {
+      if (!Flags[I].IncP)
+        continue;
+      CW = boundedDfs(
+          Cfg, I, [&](unsigned N) { return Flags[N].WritesX; },
+          [&](unsigned N) { return Flags[N].IncP; });
+    }
+    R.ConsecutivelyWritten = CW && R.HasWrites;
+  }
+
+  // --- Stack access (Sec. 2.3, Table 1).
+  if (AnyReset && BottomConsistent && !AnyReadWrite && Bottom) {
+    // The bottom must be region-invariant.
+    UseSet RegionWrites = Uses.bodyUses(Region);
+    UseSet BottomReads;
+    SymbolUses::exprReads(Bottom, BottomReads);
+    bool Invariant = true;
+    for (const Symbol *S : BottomReads.Reads)
+      if (RegionWrites.writes(S))
+        Invariant = false;
+
+    if (Invariant) {
+      // Table 1, plus the entry condition: from the region entry, p must be
+      // reset before it is modified or used in a subscript of x.
+      bool Ok = boundedDfs(
+          Cfg, Cfg.entry(), [&](unsigned N) { return Flags[N].ResetP; },
+          [&](unsigned N) {
+            const NodeFlags &F = Flags[N];
+            return F.IncP || F.DecP || F.WritesX || F.ReadsX;
+          });
+      struct Rule {
+        bool NodeFlags::*Class;
+        std::vector<bool NodeFlags::*> Bound;
+        std::vector<bool NodeFlags::*> Failed;
+      };
+      // Sbound / Sfailed exactly as in Table 1:
+      //   after a push increment, the new top must be written;
+      //   after a pop decrement, the next stack event may be a push, a read
+      //   of the new top, or a reset — never another decrement or a blind
+      //   overwrite;
+      //   after a top write, a push, a read, or a reset may follow;
+      //   after a top read, the element must be popped (or the stack
+      //   reset) before any other access.
+      const Rule Rules[] = {
+          {&NodeFlags::IncP,
+           {&NodeFlags::WritesX, &NodeFlags::ResetP},
+           {&NodeFlags::IncP, &NodeFlags::DecP, &NodeFlags::ReadsX}},
+          {&NodeFlags::DecP,
+           {&NodeFlags::IncP, &NodeFlags::ReadsX, &NodeFlags::ResetP},
+           {&NodeFlags::DecP, &NodeFlags::WritesX}},
+          {&NodeFlags::WritesX,
+           {&NodeFlags::IncP, &NodeFlags::ReadsX, &NodeFlags::ResetP},
+           {&NodeFlags::DecP, &NodeFlags::WritesX}},
+          {&NodeFlags::ReadsX,
+           {&NodeFlags::DecP, &NodeFlags::ResetP},
+           {&NodeFlags::IncP, &NodeFlags::WritesX, &NodeFlags::ReadsX}},
+      };
+      for (const Rule &Ru : Rules) {
+        if (!Ok)
+          break;
+        for (unsigned I = 0; I < Cfg.size() && Ok; ++I) {
+          if (!(Flags[I].*(Ru.Class)))
+            continue;
+          Ok = boundedDfs(
+              Cfg, I,
+              [&](unsigned N) {
+                const NodeFlags &F = Flags[N];
+                for (auto M : Ru.Bound)
+                  if (F.*M)
+                    return true;
+                return false;
+              },
+              [&](unsigned N) {
+                const NodeFlags &F = Flags[N];
+                for (auto M : Ru.Failed)
+                  if (F.*M)
+                    return true;
+                return false;
+              });
+        }
+      }
+      if (Ok) {
+        R.StackAccess = true;
+        R.StackBottom = Bottom;
+      }
+    }
+  }
+
+  return R;
+}
+
+std::vector<const Symbol *> SingleIndexAnalysis::singleIndexedArrays() const {
+  // Candidate arrays: every rank-1 array referenced in the region.
+  UseSet U = Uses.bodyUses(Region);
+  std::vector<const Symbol *> Result;
+  auto Consider = [&](const Symbol *S) {
+    if (S->rank() == 1 && findSingleIndexVar(S))
+      Result.push_back(S);
+  };
+  std::map<unsigned, const Symbol *> Ordered;
+  for (const Symbol *S : U.Reads)
+    Ordered[S->id()] = S;
+  for (const Symbol *S : U.Writes)
+    Ordered[S->id()] = S;
+  for (const auto &[Id, S] : Ordered)
+    Consider(S);
+  return Result;
+}

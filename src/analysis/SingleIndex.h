@@ -1,0 +1,96 @@
+//===- analysis/SingleIndex.h - Irregular single-indexed accesses -*- C++ -*-=//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analysis of irregular single-indexed array accesses (Sec. 2): an array is
+/// single-indexed in a region when it is always subscripted by one and the
+/// same scalar variable. The analysis classifies the evolution of that index
+/// variable with bounded depth-first searches over the region's cyclic CFG:
+///
+///  - *consecutively written* (Sec. 2.2): the index is only ever incremented
+///    by one, and no path connects two increments without writing the array
+///    in between — so the written section has no holes;
+///  - *stack access* (Sec. 2.3, Table 1): the index is only incremented,
+///    decremented, or reset to a region-invariant bottom, and every access
+///    obeys the push/pop discipline of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_ANALYSIS_SINGLEINDEX_H
+#define IAA_ANALYSIS_SINGLEINDEX_H
+
+#include "analysis/SymbolUses.h"
+#include "cfg/FlatCfg.h"
+#include "mf/Program.h"
+
+#include <optional>
+#include <vector>
+
+namespace iaa {
+namespace analysis {
+
+/// Classification of one array's accesses within a region.
+struct SingleIndexResult {
+  /// True when every reference to the array in the region is subscripted by
+  /// the single scalar IndexVar.
+  bool IsSingleIndexed = false;
+  const mf::Symbol *IndexVar = nullptr;
+
+  bool HasReads = false;
+  bool HasWrites = false;
+
+  /// Sec. 2.2: writes walk up the array with no holes.
+  bool ConsecutivelyWritten = false;
+
+  /// Sec. 2.3: the array is used as a stack.
+  bool StackAccess = false;
+  /// The bottom value the stack pointer is reset to (for StackAccess).
+  const mf::Expr *StackBottom = nullptr;
+};
+
+/// Single-indexed access analysis for one region (a loop body). The region's
+/// cyclic flat CFG is built once and shared across classifications.
+class SingleIndexAnalysis {
+public:
+  SingleIndexAnalysis(const mf::StmtList &Region, const SymbolUses &Uses);
+
+  /// Classifies array \p X within the region.
+  SingleIndexResult classify(const mf::Symbol *X) const;
+
+  /// All rank-1 arrays that are single-indexed in the region.
+  std::vector<const mf::Symbol *> singleIndexedArrays() const;
+
+  const cfg::FlatCfg &graph() const { return Cfg; }
+
+private:
+  /// Per-node classification relative to (X, p); the bDFS predicates of
+  /// Sec. 2.2/2.3 are defined over these flags.
+  struct NodeFlags {
+    bool IncP = false;     ///< p = p + 1
+    bool DecP = false;     ///< p = p - 1
+    bool ResetP = false;   ///< p = Cbottom
+    bool OtherDefP = false;///< any other definition of p
+    bool WritesX = false;  ///< x(p) = ...
+    bool ReadsX = false;   ///< ... = x(p) (incl. conditions and bounds)
+    bool Spoil = false;    ///< call or construct that may touch X or p
+  };
+
+  /// Finds the single subscript variable of X in the region, if any.
+  std::optional<const mf::Symbol *> findSingleIndexVar(const mf::Symbol *X) const;
+
+  std::vector<NodeFlags> classifyNodes(const mf::Symbol *X,
+                                       const mf::Symbol *P) const;
+
+  const mf::StmtList &Region;
+  const SymbolUses &Uses;
+  cfg::FlatCfg Cfg;
+};
+
+} // namespace analysis
+} // namespace iaa
+
+#endif // IAA_ANALYSIS_SINGLEINDEX_H

@@ -1,0 +1,110 @@
+//===- cfg/FlatCfg.cpp - Cyclic region control flow graph -----------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/FlatCfg.h"
+
+#include <algorithm>
+
+using namespace iaa;
+using namespace iaa::cfg;
+using namespace iaa::mf;
+
+FlatCfg::FlatCfg(const StmtList &Body, bool IncludeBackEdges)
+    : IncludeBackEdges(IncludeBackEdges) {
+  Entry = addNode(FlatNode::Kind::Entry, nullptr);
+  std::vector<unsigned> Exits = buildList(Body, {Entry});
+  Exit = addNode(FlatNode::Kind::Exit, nullptr);
+  for (unsigned E : Exits)
+    addEdge(E, Exit);
+}
+
+unsigned FlatCfg::addNode(FlatNode::Kind K, const Stmt *S) {
+  FlatNode N;
+  N.K = K;
+  N.S = S;
+  Nodes.push_back(std::move(N));
+  unsigned Idx = static_cast<unsigned>(Nodes.size() - 1);
+  if (S)
+    StmtToNode[S] = Idx;
+  return Idx;
+}
+
+void FlatCfg::addEdge(unsigned From, unsigned To) {
+  Nodes[From].Succs.push_back(To);
+  Nodes[To].Preds.push_back(From);
+}
+
+unsigned FlatCfg::nodeFor(const Stmt *S) const {
+  auto It = StmtToNode.find(S);
+  return It == StmtToNode.end() ? ~0u : It->second;
+}
+
+std::vector<unsigned> FlatCfg::buildList(const StmtList &Body,
+                                         std::vector<unsigned> Preds) {
+  for (const Stmt *S : Body) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+    case StmtKind::Call: {
+      unsigned N = addNode(FlatNode::Kind::Stmt, S);
+      for (unsigned P : Preds)
+        addEdge(P, N);
+      Preds = {N};
+      break;
+    }
+    case StmtKind::If: {
+      const auto *IS = cast<IfStmt>(S);
+      unsigned Cond = addNode(FlatNode::Kind::Branch, S);
+      for (unsigned P : Preds)
+        addEdge(P, Cond);
+      std::vector<unsigned> ThenExits = buildList(IS->thenBody(), {Cond});
+      std::vector<unsigned> ElseExits = buildList(IS->elseBody(), {Cond});
+      // An empty else body falls straight through the condition node;
+      // buildList already returns {Cond} in that case.
+      Preds.clear();
+      Preds.insert(Preds.end(), ThenExits.begin(), ThenExits.end());
+      for (unsigned E : ElseExits)
+        if (std::find(Preds.begin(), Preds.end(), E) == Preds.end())
+          Preds.push_back(E);
+      break;
+    }
+    case StmtKind::Do: {
+      const auto *DS = cast<DoStmt>(S);
+      unsigned Head = addNode(FlatNode::Kind::LoopHead, S);
+      for (unsigned P : Preds)
+        addEdge(P, Head);
+      std::vector<unsigned> BodyExits = buildList(DS->body(), {Head});
+      if (IncludeBackEdges)
+        for (unsigned E : BodyExits)
+          addEdge(E, Head);
+      // Control leaves the loop from the header (zero-trip or done).
+      Preds = {Head};
+      if (!IncludeBackEdges)
+        for (unsigned E : BodyExits)
+          if (E != Head)
+            Preds.push_back(E);
+      break;
+    }
+    case StmtKind::While: {
+      const auto *WS = cast<WhileStmt>(S);
+      unsigned Head = addNode(FlatNode::Kind::WhileHead, S);
+      for (unsigned P : Preds)
+        addEdge(P, Head);
+      std::vector<unsigned> BodyExits = buildList(WS->body(), {Head});
+      if (IncludeBackEdges)
+        for (unsigned E : BodyExits)
+          addEdge(E, Head);
+      Preds = {Head};
+      if (!IncludeBackEdges)
+        for (unsigned E : BodyExits)
+          if (E != Head)
+            Preds.push_back(E);
+      break;
+    }
+    }
+  }
+  return Preds;
+}

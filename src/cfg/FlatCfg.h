@@ -1,0 +1,92 @@
+//===- cfg/FlatCfg.h - Cyclic region control flow graph ---------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat, possibly cyclic control flow graph for one program region (a loop
+/// body or procedure body), with nested loops flattened into the same graph
+/// and back edges retained. This is the substrate for the bounded
+/// depth-first searches of Sec. 2 (Fig. 2): the single-indexed access
+/// analysis must follow the evolution of an index variable across inner
+/// loop iterations, which requires real back edges — unlike the HCG used by
+/// the array property analysis, which is deliberately acyclic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_CFG_FLATCFG_H
+#define IAA_CFG_FLATCFG_H
+
+#include "mf/Stmt.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace iaa {
+namespace cfg {
+
+/// One vertex of a FlatCfg.
+struct FlatNode {
+  enum class Kind {
+    Entry,
+    Exit,
+    Stmt,      ///< Assignment or call.
+    Branch,    ///< If condition.
+    LoopHead,  ///< Do-loop header (also the loop's exit point).
+    WhileHead, ///< While-loop header (also the loop's exit point).
+  };
+
+  Kind K = Kind::Stmt;
+  const mf::Stmt *S = nullptr;
+  std::vector<unsigned> Preds;
+  std::vector<unsigned> Succs;
+};
+
+/// The flat control flow graph of one region.
+class FlatCfg {
+public:
+  /// Builds the graph of \p Body. When \p IncludeBackEdges is false the
+  /// loop-body exits do not return to their headers (a DAG view).
+  explicit FlatCfg(const mf::StmtList &Body, bool IncludeBackEdges = true);
+
+  unsigned entry() const { return Entry; }
+  unsigned exit() const { return Exit; }
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+  const FlatNode &node(unsigned Idx) const { return Nodes[Idx]; }
+
+  /// Index of the node representing \p S, or ~0u when \p S is outside the
+  /// region.
+  unsigned nodeFor(const mf::Stmt *S) const;
+
+  /// All node indices whose statement satisfies \p Pred.
+  template <typename PredT>
+  std::vector<unsigned> nodesWhere(PredT Pred) const {
+    std::vector<unsigned> Result;
+    for (unsigned I = 0; I < Nodes.size(); ++I)
+      if (Nodes[I].S && Pred(Nodes[I]))
+        Result.push_back(I);
+    return Result;
+  }
+
+private:
+  unsigned addNode(FlatNode::Kind K, const mf::Stmt *S);
+  void addEdge(unsigned From, unsigned To);
+  /// Lays out \p Body; \p Preds are the dangling exits feeding the first
+  /// statement. Returns the dangling exits of the whole list.
+  std::vector<unsigned> buildList(const mf::StmtList &Body,
+                                  std::vector<unsigned> Preds);
+
+  bool IncludeBackEdges;
+  std::vector<FlatNode> Nodes;
+  std::unordered_map<const mf::Stmt *, unsigned> StmtToNode;
+  unsigned Entry = 0;
+  unsigned Exit = 0;
+};
+
+} // namespace cfg
+} // namespace iaa
+
+#endif // IAA_CFG_FLATCFG_H

@@ -1,0 +1,166 @@
+//===- cfg/Hcg.cpp - Hierarchical control graph ---------------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Hcg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace iaa;
+using namespace iaa::cfg;
+using namespace iaa::mf;
+
+Hcg::Hcg(Program &P) : Prog(P) {
+  for (Procedure *Proc : P.procedures()) {
+    HcgSection *Sec = buildSection(Proc->body(), /*Loop=*/nullptr, Proc);
+    ProcSections[Proc] = Sec;
+  }
+  // Resolve call sites after all sections exist.
+  for (const auto &Sec : Sections)
+    for (const auto &Node : Sec->nodes())
+      if (Node->K == HcgNode::Kind::Call) {
+        const auto *CS = cast<CallStmt>(Node->S);
+        if (CS->callee())
+          Callers[CS->callee()].push_back(Node.get());
+      }
+}
+
+HcgSection *Hcg::procSection(const Procedure *P) const {
+  auto It = ProcSections.find(P);
+  return It == ProcSections.end() ? nullptr : It->second;
+}
+
+HcgSection *Hcg::loopSection(const DoStmt *L) const {
+  auto It = LoopSections.find(L);
+  return It == LoopSections.end() ? nullptr : It->second;
+}
+
+HcgNode *Hcg::nodeFor(const Stmt *S) const {
+  auto It = StmtNodes.find(S);
+  return It == StmtNodes.end() ? nullptr : It->second;
+}
+
+const std::vector<HcgNode *> &Hcg::callSites(const Procedure *P) const {
+  auto It = Callers.find(P);
+  return It == Callers.end() ? NoCallers : It->second;
+}
+
+HcgNode *Hcg::addNode(HcgSection &Sec, HcgNode::Kind K, const Stmt *S,
+                      bool InBranch) {
+  auto Owned = std::make_unique<HcgNode>();
+  HcgNode *N = Owned.get();
+  N->K = K;
+  N->S = S;
+  N->Parent = &Sec;
+  N->OnAllPaths = !InBranch;
+  Sec.Nodes.push_back(std::move(Owned));
+  if (S && K != HcgNode::Kind::Entry && K != HcgNode::Kind::Exit)
+    StmtNodes[S] = N;
+  return N;
+}
+
+void Hcg::addEdge(HcgNode *From, HcgNode *To) {
+  From->Succs.push_back(To);
+  To->Preds.push_back(From);
+}
+
+HcgSection *Hcg::buildSection(const StmtList &Body, const DoStmt *Loop,
+                              Procedure *Proc) {
+  auto Owned = std::make_unique<HcgSection>();
+  HcgSection *Sec = Owned.get();
+  Sections.push_back(std::move(Owned));
+  Sec->Loop = Loop;
+  Sec->Proc = Proc;
+  if (Loop)
+    LoopSections[Loop] = Sec;
+
+  Sec->Entry = addNode(*Sec, HcgNode::Kind::Entry, nullptr, /*InBranch=*/false);
+  std::vector<HcgNode *> Exits =
+      buildList(*Sec, Body, {Sec->Entry}, /*InBranch=*/false);
+  Sec->Exit = addNode(*Sec, HcgNode::Kind::Exit, nullptr, /*InBranch=*/false);
+  for (HcgNode *E : Exits)
+    addEdge(E, Sec->Exit);
+
+  assignTopoOrder(*Sec);
+  return Sec;
+}
+
+std::vector<HcgNode *> Hcg::buildList(HcgSection &Sec, const StmtList &Body,
+                                      std::vector<HcgNode *> Preds,
+                                      bool InBranch) {
+  for (Stmt *S : Body) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      HcgNode *N = addNode(Sec, HcgNode::Kind::Assign, S, InBranch);
+      for (HcgNode *P : Preds)
+        addEdge(P, N);
+      Preds = {N};
+      break;
+    }
+    case StmtKind::Call: {
+      HcgNode *N = addNode(Sec, HcgNode::Kind::Call, S, InBranch);
+      for (HcgNode *P : Preds)
+        addEdge(P, N);
+      Preds = {N};
+      break;
+    }
+    case StmtKind::If: {
+      const auto *IS = cast<IfStmt>(S);
+      HcgNode *Cond = addNode(Sec, HcgNode::Kind::Branch, S, InBranch);
+      for (HcgNode *P : Preds)
+        addEdge(P, Cond);
+      std::vector<HcgNode *> ThenExits =
+          buildList(Sec, IS->thenBody(), {Cond}, /*InBranch=*/true);
+      std::vector<HcgNode *> ElseExits =
+          buildList(Sec, IS->elseBody(), {Cond}, /*InBranch=*/true);
+      Preds = std::move(ThenExits);
+      for (HcgNode *E : ElseExits)
+        if (std::find(Preds.begin(), Preds.end(), E) == Preds.end())
+          Preds.push_back(E);
+      break;
+    }
+    case StmtKind::Do: {
+      auto *DS = cast<DoStmt>(S);
+      HcgNode *N = addNode(Sec, HcgNode::Kind::Loop, S, InBranch);
+      for (HcgNode *P : Preds)
+        addEdge(P, N);
+      N->BodySection = buildSection(DS->body(), DS, /*Proc=*/nullptr);
+      N->BodySection->Owner = N;
+      Preds = {N};
+      break;
+    }
+    case StmtKind::While: {
+      HcgNode *N = addNode(Sec, HcgNode::Kind::While, S, InBranch);
+      for (HcgNode *P : Preds)
+        addEdge(P, N);
+      Preds = {N};
+      break;
+    }
+    }
+  }
+  return Preds;
+}
+
+void Hcg::assignTopoOrder(HcgSection &Sec) {
+  // Kahn's algorithm; the section graph is acyclic by construction.
+  std::unordered_map<HcgNode *, unsigned> InDegree;
+  for (const auto &N : Sec.Nodes)
+    InDegree[N.get()] = static_cast<unsigned>(N->Preds.size());
+  std::deque<HcgNode *> Ready;
+  Ready.push_back(Sec.Entry);
+  unsigned Next = 0;
+  while (!Ready.empty()) {
+    HcgNode *N = Ready.front();
+    Ready.pop_front();
+    N->TopoIdx = Next++;
+    for (HcgNode *Succ : N->Succs)
+      if (--InDegree[Succ] == 0)
+        Ready.push_back(Succ);
+  }
+  assert(Next == Sec.Nodes.size() && "HCG section must be connected acyclic");
+}

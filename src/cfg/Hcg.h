@@ -1,0 +1,132 @@
+//===- cfg/Hcg.h - Hierarchical control graph -------------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hierarchical control graph (HCG) of Sec. 3.2.1: "Each statement,
+/// loop, and procedure is represented by a node, respectively. There also is
+/// a section node for each loop body and each procedure body. Each section
+/// node has a single entry node and a single exit node. ... we deliberately
+/// delete the back edges in the control flow graph. Hence, the HCG is
+/// directed acyclic."
+///
+/// The array property analysis (QuerySolver and friends) propagates queries
+/// backward over this graph; do loops are summarized by aggregation at their
+/// Loop nodes, procedures are entered at Call nodes and escaped at procedure
+/// heads via query splitting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_CFG_HCG_H
+#define IAA_CFG_HCG_H
+
+#include "mf/Program.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace iaa {
+namespace cfg {
+
+class HcgSection;
+
+/// One vertex of an HCG section.
+struct HcgNode {
+  enum class Kind {
+    Entry,  ///< Section entry.
+    Exit,   ///< Section exit.
+    Assign, ///< One assignment statement.
+    Branch, ///< If condition (its arms rejoin inside the same section).
+    Loop,   ///< Do-loop header; BodySection holds the loop body.
+    While,  ///< While loop, kept opaque (Sec. 3.2.1 assumes do loops).
+    Call,   ///< Procedure call site.
+  };
+
+  Kind K = Kind::Assign;
+  const mf::Stmt *S = nullptr;
+  HcgSection *Parent = nullptr;      ///< Section containing this node.
+  HcgSection *BodySection = nullptr; ///< Loop body (Kind::Loop only).
+  std::vector<HcgNode *> Preds;
+  std::vector<HcgNode *> Succs;
+  /// Topological index within the section (entry lowest, exit highest).
+  /// The QuerySolver worklist pops the *highest* index first, which realizes
+  /// the paper's "reverse topological order" rule: a node is not checked
+  /// until all its successors have been checked.
+  unsigned TopoIdx = 0;
+  /// True when the node lies on every entry-to-exit path of its section
+  /// (structured programs: any node not nested in an if arm). Such a node
+  /// dominates the section exit, which Fig. 9 (line 20) uses to snapshot
+  /// the strongest MUST-Gen seen so far.
+  bool OnAllPaths = false;
+};
+
+/// A section node: the body of a do loop or of a procedure.
+class HcgSection {
+public:
+  HcgNode *entry() const { return Entry; }
+  HcgNode *exit() const { return Exit; }
+  const std::vector<std::unique_ptr<HcgNode>> &nodes() const { return Nodes; }
+
+  /// The do loop whose body this is, or null for a procedure body.
+  const mf::DoStmt *loop() const { return Loop; }
+  /// The procedure whose body this is, or null for a loop body.
+  mf::Procedure *procedure() const { return Proc; }
+
+  /// The Loop/Call/... node representing this section in its parent
+  /// section, or null for a procedure body.
+  HcgNode *ownerNode() const { return Owner; }
+
+private:
+  friend class Hcg;
+  HcgNode *Entry = nullptr;
+  HcgNode *Exit = nullptr;
+  std::vector<std::unique_ptr<HcgNode>> Nodes;
+  const mf::DoStmt *Loop = nullptr;
+  mf::Procedure *Proc = nullptr;
+  HcgNode *Owner = nullptr;
+};
+
+/// The whole-program hierarchical control graph.
+class Hcg {
+public:
+  explicit Hcg(mf::Program &P);
+
+  mf::Program &program() const { return Prog; }
+
+  /// The section of a procedure body.
+  HcgSection *procSection(const mf::Procedure *P) const;
+  /// The section of a do-loop body.
+  HcgSection *loopSection(const mf::DoStmt *L) const;
+  /// The node representing \p S inside its enclosing section, or null.
+  HcgNode *nodeFor(const mf::Stmt *S) const;
+  /// Every Call node whose callee is \p P.
+  const std::vector<HcgNode *> &callSites(const mf::Procedure *P) const;
+
+private:
+  HcgSection *buildSection(const mf::StmtList &Body, const mf::DoStmt *Loop,
+                           mf::Procedure *Proc);
+  std::vector<HcgNode *> buildList(HcgSection &Sec, const mf::StmtList &Body,
+                                   std::vector<HcgNode *> Preds,
+                                   bool InBranch);
+  HcgNode *addNode(HcgSection &Sec, HcgNode::Kind K, const mf::Stmt *S,
+                   bool InBranch);
+  static void addEdge(HcgNode *From, HcgNode *To);
+  static void assignTopoOrder(HcgSection &Sec);
+
+  mf::Program &Prog;
+  std::vector<std::unique_ptr<HcgSection>> Sections;
+  std::unordered_map<const mf::Procedure *, HcgSection *> ProcSections;
+  std::unordered_map<const mf::DoStmt *, HcgSection *> LoopSections;
+  std::unordered_map<const mf::Stmt *, HcgNode *> StmtNodes;
+  std::unordered_map<const mf::Procedure *, std::vector<HcgNode *>> Callers;
+  std::vector<HcgNode *> NoCallers;
+};
+
+} // namespace cfg
+} // namespace iaa
+
+#endif // IAA_CFG_HCG_H

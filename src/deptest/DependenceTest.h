@@ -1,0 +1,148 @@
+//===- deptest/DependenceTest.h - Loop dependence testing -------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-carried dependence testing for do loops, in three tiers:
+///
+///  1. a *distinct-dimension* affine test: some dimension of every access is
+///     the same affine function of the tested loop's index with nonzero
+///     coefficient, so different iterations touch disjoint slices;
+///  2. a symbolic *range test* (Blume & Eigenmann, used by Polaris): the
+///     access ranges of iteration i and iteration i+1, swept over the inner
+///     loops, provably do not overlap;
+///  3. the *offset-length test* (Sec. 3.2.7): when the ranges are expressed
+///     in terms of an index array x() — [x(i)+a : x(i)+y(i)+b] — the range
+///     test is retried after rewriting x(i+1) to x(i) + y(i), which is
+///     licensed by the closed-form distance property (CFD) of x verified by
+///     the array property analysis, with y proven non-negative (CFB);
+///  4. the *injective test* (Sec. 5.1.5): accesses a(p(i)) with p injective
+///     over the iteration space touch distinct elements.
+///
+/// Tiers 3-4 are the paper's contribution and are disabled when the
+/// irregular-access analysis (IAA) is off, which is the baseline
+/// configuration of Fig. 16.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_DEPTEST_DEPENDENCETEST_H
+#define IAA_DEPTEST_DEPENDENCETEST_H
+
+#include "analysis/GlobalConstants.h"
+#include "analysis/PropertySolver.h"
+#include "analysis/SymbolUses.h"
+#include "cfg/Hcg.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace iaa {
+namespace deptest {
+
+/// Which test disproved (or failed to disprove) dependences on one array.
+enum class TestKind {
+  None,          ///< No test applied (array not written, or privatized).
+  DistinctDim,   ///< Affine distinct-dimension test.
+  RangeTest,     ///< Symbolic range test.
+  OffsetLength,  ///< Offset-length test (needs CFD, usually CFB too).
+  Injective,     ///< Injective subscript test (needs INJ).
+};
+
+const char *testKindName(TestKind K);
+
+/// Per-array outcome of dependence testing on one loop.
+struct ArrayDepOutcome {
+  const mf::Symbol *Array = nullptr;
+  bool Independent = false;
+  TestKind Test = TestKind::None;
+  /// Property abbreviations used ("CFD", "CFB", "INJ", "CFV"), if any.
+  std::vector<std::string> PropertiesUsed;
+  std::string Detail;
+};
+
+/// Result of testing one loop.
+struct LoopDepResult {
+  bool Independent = false;
+  std::vector<ArrayDepOutcome> Arrays;
+  unsigned PropertyQueries = 0;
+};
+
+/// The dependence-test driver.
+class DependenceTester {
+public:
+  DependenceTester(cfg::Hcg &G, const analysis::SymbolUses &Uses,
+                   bool EnableIAA, bool EnableRangeTest = true)
+      : G(G), Uses(Uses), Consts(G.program()), Solver(G, Uses),
+        EnableIAA(EnableIAA), EnableRangeTest(EnableRangeTest) {}
+
+  /// Routes property-analysis time into \p T (for Table 2).
+  void setPropertyTimer(AccumulatingTimer *T) { Solver.setTimer(T); }
+
+  /// Tests whether \p L carries dependences through array accesses.
+  /// Arrays in \p Privatized are assumed handled by privatization.
+  LoopDepResult testLoop(const mf::DoStmt *L,
+                         const std::set<const mf::Symbol *> &Privatized);
+
+private:
+  struct Access {
+    const mf::ArrayRef *Ref;
+    const mf::Stmt *Site;
+    bool IsWrite;
+    /// Do loops strictly inside the tested loop enclosing this access.
+    std::vector<const mf::DoStmt *> InnerLoops;
+  };
+
+  ArrayDepOutcome testArray(const mf::DoStmt *L, const mf::Symbol *X,
+                            const std::vector<Access> &Accs,
+                            LoopDepResult &R);
+
+  /// Sweeps \p E over the access's inner loops; false if unboundable.
+  bool accessRange(const Access &A, unsigned Dim, sym::SymExpr &Lo,
+                   sym::SymExpr &Hi) const;
+
+  cfg::Hcg &G;
+  const analysis::SymbolUses &Uses;
+  analysis::GlobalConstants Consts;
+  analysis::PropertySolver Solver;
+  bool EnableIAA;
+  bool EnableRangeTest;
+
+  /// Verified-property memo, keyed by (array, loop): the same pptr/iblen
+  /// facts are needed for every host array of a loop nest, and re-verifying
+  /// them would dominate analysis time (Table 2).
+  struct PropKey {
+    const mf::Symbol *Array;
+    const mf::DoStmt *Loop;
+    bool operator<(const PropKey &O) const {
+      return std::tie(Array, Loop) < std::tie(O.Array, O.Loop);
+    }
+  };
+  struct CfdFact {
+    bool Verified = false;
+    sym::SymExpr Distance;
+  };
+  struct CfbFact {
+    bool Verified = false;
+    sym::SymRange Bounds;
+  };
+  std::map<PropKey, CfdFact> CfdCache;
+  std::map<PropKey, CfbFact> CfbCache;
+
+  /// Memoized CFD verification of \p Ptr over [lo(L), up(L)-1] before L.
+  const CfdFact &verifiedDistance(const mf::DoStmt *L, const mf::Symbol *Ptr,
+                                  LoopDepResult &R);
+  /// Memoized CFB verification of \p Y over the same section.
+  const CfbFact &verifiedBounds(const mf::DoStmt *L, const mf::Symbol *Y,
+                                LoopDepResult &R);
+};
+
+} // namespace deptest
+} // namespace iaa
+
+#endif // IAA_DEPTEST_DEPENDENCETEST_H

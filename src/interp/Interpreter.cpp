@@ -1,0 +1,572 @@
+//===- interp/Interpreter.cpp - MF execution engine -----------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "analysis/GlobalConstants.h"
+#include "interp/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace iaa;
+using namespace iaa::interp;
+using namespace iaa::mf;
+
+namespace {
+
+[[noreturn]] void runtimeFault(const char *Message) {
+  std::fprintf(stderr, "iaa interpreter fault: %s\n", Message);
+  std::abort();
+}
+
+/// A dynamically typed value.
+struct Value {
+  bool IsInt = true;
+  int64_t I = 0;
+  double D = 0;
+
+  static Value ofInt(int64_t V) { return {true, V, 0}; }
+  static Value ofReal(double V) { return {false, 0, V}; }
+
+  int64_t asInt() const { return IsInt ? I : static_cast<int64_t>(D); }
+  double asReal() const { return IsInt ? static_cast<double>(I) : D; }
+  bool truthy() const { return IsInt ? I != 0 : D != 0; }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+Memory::Memory(const Program &P) {
+  analysis::GlobalConstants Consts(P);
+  Buffers.resize(P.numSymbols());
+
+  // Resolve a (possibly symbolic) extent using whole-program constants.
+  std::function<int64_t(const Expr *)> EvalExtent = [&](const Expr *E)
+      -> int64_t {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return cast<IntLit>(E)->value();
+    case ExprKind::VarRef: {
+      auto V = Consts.valueOf(cast<VarRef>(E)->symbol());
+      if (!V)
+        runtimeFault("array extent is not a program constant");
+      return *V;
+    }
+    case ExprKind::Binary: {
+      const auto *BE = cast<BinaryExpr>(E);
+      int64_t L = EvalExtent(BE->lhs());
+      int64_t R = EvalExtent(BE->rhs());
+      switch (BE->op()) {
+      case BinaryOp::Add: return L + R;
+      case BinaryOp::Sub: return L - R;
+      case BinaryOp::Mul: return L * R;
+      case BinaryOp::Div: return R ? L / R : 0;
+      default: runtimeFault("unsupported operator in array extent");
+      }
+    }
+    default:
+      runtimeFault("unsupported array extent expression");
+    }
+  };
+
+  for (const Symbol *S : P.symbols()) {
+    Buffer &B = Buffers[S->id()];
+    B.Kind = S->elementKind();
+    size_t Elems = 1;
+    for (unsigned D = 0; D < S->rank(); ++D) {
+      int64_t Extent = EvalExtent(S->extent(D));
+      if (Extent <= 0)
+        runtimeFault("array extent must be positive");
+      Elems *= static_cast<size_t>(Extent);
+    }
+    if (B.Kind == ScalarKind::Int)
+      B.I.assign(Elems, 0);
+    else
+      B.D.assign(Elems, 0.0);
+  }
+}
+
+double Memory::checksum() const { return checksumExcluding({}); }
+
+double Memory::checksumExcluding(const std::set<unsigned> &ExcludeIds) const {
+  double Sum = 0;
+  for (unsigned Id = 0; Id < Buffers.size(); ++Id) {
+    if (ExcludeIds.count(Id))
+      continue;
+    const Buffer &B = Buffers[Id];
+    if (B.Kind == ScalarKind::Int) {
+      for (size_t I = 0; I < B.I.size(); ++I)
+        Sum += static_cast<double>(B.I[I]) * static_cast<double>(I % 7 + 1);
+    } else {
+      for (size_t I = 0; I < B.D.size(); ++I)
+        Sum += B.D[I] * static_cast<double>(I % 7 + 1);
+    }
+  }
+  return Sum;
+}
+
+std::set<unsigned> interp::deadPrivateIds(const xform::PipelineResult &Plans) {
+  std::set<unsigned> Ids;
+  for (const auto &[Loop, Plan] : Plans.Plans)
+    if (Plan.Parallel)
+      for (const mf::Symbol *S : Plan.PrivateArrays)
+        Ids.insert(S->id());
+  return Ids;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Exec {
+public:
+  Exec(const Program &P, Memory &Mem, const ExecOptions &Opts,
+       ExecStats *Stats)
+      : Prog(P), Mem(Mem), Opts(Opts), Stats(Stats) {
+    // Pre-compute per-array dimension extents for subscript linearization.
+    analysis::GlobalConstants Consts(P);
+    DimExtents.resize(P.numSymbols());
+    for (const Symbol *S : P.symbols()) {
+      if (!S->isArray())
+        continue;
+      auto &Out = DimExtents[S->id()];
+      for (unsigned D = 0; D < S->rank(); ++D) {
+        const Expr *E = S->extent(D);
+        sym::SymExpr SE = sym::SymExpr::fromAst(E);
+        int64_t V = 0;
+        if (SE.isConstant()) {
+          V = SE.constValue();
+        } else {
+          // Single-symbol extents were validated by Memory already.
+          bool Found = false;
+          for (const Symbol *Sym2 : P.symbols()) {
+            if (!Sym2->isArray() && SE.equals(sym::SymExpr::var(Sym2)))
+              if (auto C = Consts.valueOf(Sym2)) {
+                V = *C;
+                Found = true;
+                break;
+              }
+          }
+          if (!Found) {
+            // General constant-foldable extent.
+            sym::RangeEnv Env;
+            Consts.bindAll(Env);
+            sym::ConstRange R = sym::evalConstRange(SE, Env);
+            if (R.Lo && R.Hi && *R.Lo == *R.Hi)
+              V = *R.Lo;
+            else
+              runtimeFault("array extent is not a program constant");
+          }
+        }
+        Out.push_back(V);
+      }
+    }
+  }
+
+  struct Frame {
+    std::unordered_map<unsigned, Buffer> *Overrides = nullptr;
+    bool InParallel = false;
+  };
+
+  void runMain() {
+    const Procedure *Main = Prog.mainProcedure();
+    if (!Main)
+      runtimeFault("program has no main body");
+    Frame F;
+    execBody(Main->body(), F);
+  }
+
+private:
+  Buffer &bufferFor(const Symbol *S, Frame &F) {
+    if (F.Overrides) {
+      auto It = F.Overrides->find(S->id());
+      if (It != F.Overrides->end())
+        return It->second;
+    }
+    return Mem.buffer(S);
+  }
+
+  size_t linearIndex(const mf::ArrayRef *AR, Frame &F) {
+    const Symbol *S = AR->array();
+    const auto &Ext = DimExtents[S->id()];
+    size_t Idx = 0;
+    for (unsigned D = 0; D < AR->rank(); ++D) {
+      int64_t Sub = eval(AR->subscript(D), F).asInt();
+      if (Sub < 1 || Sub > Ext[D])
+        runtimeFault("array subscript out of bounds");
+      Idx = Idx * static_cast<size_t>(Ext[D]) + static_cast<size_t>(Sub - 1);
+    }
+    return Idx;
+  }
+
+  Value eval(const Expr *E, Frame &F) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Value::ofInt(cast<IntLit>(E)->value());
+    case ExprKind::RealLit:
+      return Value::ofReal(cast<RealLit>(E)->value());
+    case ExprKind::VarRef: {
+      const Symbol *S = cast<VarRef>(E)->symbol();
+      Buffer &B = bufferFor(S, F);
+      return B.Kind == ScalarKind::Int ? Value::ofInt(B.I[0])
+                                       : Value::ofReal(B.D[0]);
+    }
+    case ExprKind::ArrayRef: {
+      const auto *AR = cast<mf::ArrayRef>(E);
+      Buffer &B = bufferFor(AR->array(), F);
+      size_t Idx = linearIndex(AR, F);
+      return B.Kind == ScalarKind::Int ? Value::ofInt(B.I[Idx])
+                                       : Value::ofReal(B.D[Idx]);
+    }
+    case ExprKind::Unary: {
+      const auto *UE = cast<UnaryExpr>(E);
+      Value V = eval(UE->operand(), F);
+      if (UE->op() == UnaryOp::Neg)
+        return V.IsInt ? Value::ofInt(-V.I) : Value::ofReal(-V.D);
+      return Value::ofInt(V.truthy() ? 0 : 1);
+    }
+    case ExprKind::Binary: {
+      const auto *BE = cast<BinaryExpr>(E);
+      Value L = eval(BE->lhs(), F);
+      // Short-circuit logicals.
+      if (BE->op() == BinaryOp::And) {
+        if (!L.truthy())
+          return Value::ofInt(0);
+        return Value::ofInt(eval(BE->rhs(), F).truthy() ? 1 : 0);
+      }
+      if (BE->op() == BinaryOp::Or) {
+        if (L.truthy())
+          return Value::ofInt(1);
+        return Value::ofInt(eval(BE->rhs(), F).truthy() ? 1 : 0);
+      }
+      Value R = eval(BE->rhs(), F);
+      bool BothInt = L.IsInt && R.IsInt;
+      switch (BE->op()) {
+      case BinaryOp::Add:
+        return BothInt ? Value::ofInt(L.I + R.I)
+                       : Value::ofReal(L.asReal() + R.asReal());
+      case BinaryOp::Sub:
+        return BothInt ? Value::ofInt(L.I - R.I)
+                       : Value::ofReal(L.asReal() - R.asReal());
+      case BinaryOp::Mul:
+        return BothInt ? Value::ofInt(L.I * R.I)
+                       : Value::ofReal(L.asReal() * R.asReal());
+      case BinaryOp::Div:
+        if (BothInt) {
+          if (R.I == 0)
+            runtimeFault("integer division by zero");
+          return Value::ofInt(L.I / R.I);
+        }
+        return Value::ofReal(L.asReal() / R.asReal());
+      case BinaryOp::Mod:
+        if (BothInt) {
+          if (R.I == 0)
+            runtimeFault("mod by zero");
+          return Value::ofInt(L.I % R.I);
+        }
+        runtimeFault("mod on real operands");
+      case BinaryOp::Min:
+        return BothInt ? Value::ofInt(std::min(L.I, R.I))
+                       : Value::ofReal(std::min(L.asReal(), R.asReal()));
+      case BinaryOp::Max:
+        return BothInt ? Value::ofInt(std::max(L.I, R.I))
+                       : Value::ofReal(std::max(L.asReal(), R.asReal()));
+      case BinaryOp::Eq:
+        return Value::ofInt(BothInt ? L.I == R.I : L.asReal() == R.asReal());
+      case BinaryOp::Ne:
+        return Value::ofInt(BothInt ? L.I != R.I : L.asReal() != R.asReal());
+      case BinaryOp::Lt:
+        return Value::ofInt(BothInt ? L.I < R.I : L.asReal() < R.asReal());
+      case BinaryOp::Le:
+        return Value::ofInt(BothInt ? L.I <= R.I : L.asReal() <= R.asReal());
+      case BinaryOp::Gt:
+        return Value::ofInt(BothInt ? L.I > R.I : L.asReal() > R.asReal());
+      case BinaryOp::Ge:
+        return Value::ofInt(BothInt ? L.I >= R.I : L.asReal() >= R.asReal());
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        break; // Handled above.
+      }
+      runtimeFault("unhandled binary operator");
+    }
+    }
+    runtimeFault("unhandled expression kind");
+  }
+
+  void store(const Expr *Target, Value V, Frame &F) {
+    if (const auto *VR = dyn_cast<VarRef>(Target)) {
+      Buffer &B = bufferFor(VR->symbol(), F);
+      if (B.Kind == ScalarKind::Int)
+        B.I[0] = V.asInt();
+      else
+        B.D[0] = V.asReal();
+      return;
+    }
+    const auto *AR = cast<mf::ArrayRef>(Target);
+    Buffer &B = bufferFor(AR->array(), F);
+    size_t Idx = linearIndex(AR, F);
+    if (B.Kind == ScalarKind::Int)
+      B.I[Idx] = V.asInt();
+    else
+      B.D[Idx] = V.asReal();
+  }
+
+  void setScalar(const Symbol *S, int64_t V, Frame &F) {
+    Buffer &B = bufferFor(S, F);
+    if (B.Kind == ScalarKind::Int)
+      B.I[0] = V;
+    else
+      B.D[0] = static_cast<double>(V);
+  }
+
+  void execBody(const StmtList &Body, Frame &F) {
+    for (const Stmt *S : Body)
+      execStmt(S, F);
+  }
+
+  void execStmt(const Stmt *S, Frame &F) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *AS = cast<AssignStmt>(S);
+      store(AS->lhs(), eval(AS->rhs(), F), F);
+      return;
+    }
+    case StmtKind::If: {
+      const auto *IS = cast<IfStmt>(S);
+      if (eval(IS->condition(), F).truthy())
+        execBody(IS->thenBody(), F);
+      else
+        execBody(IS->elseBody(), F);
+      return;
+    }
+    case StmtKind::While: {
+      const auto *WS = cast<WhileStmt>(S);
+      unsigned Guard = 0;
+      while (eval(WS->condition(), F).truthy()) {
+        execBody(WS->body(), F);
+        if (++Guard > 100000000u)
+          runtimeFault("while loop exceeded the iteration guard");
+      }
+      return;
+    }
+    case StmtKind::Call: {
+      const auto *CS = cast<CallStmt>(S);
+      if (!CS->callee())
+        runtimeFault("call to unresolved procedure");
+      execBody(CS->callee()->body(), F);
+      return;
+    }
+    case StmtKind::Do:
+      execDo(cast<DoStmt>(S), F);
+      return;
+    }
+  }
+
+  void execDo(const DoStmt *DS, Frame &F) {
+    int64_t Lo = eval(DS->lower(), F).asInt();
+    int64_t Up = eval(DS->upper(), F).asInt();
+    int64_t Step = DS->step() ? eval(DS->step(), F).asInt() : 1;
+    if (Step == 0)
+      runtimeFault("do loop with zero step");
+
+    bool Timed = !DS->label().empty() && Stats && !F.InParallel;
+    Timer LoopTimer;
+    double AdjustAtEntry = VirtualAdjust;
+
+    const xform::LoopPlan *Plan = nullptr;
+    if (!F.InParallel && Opts.Plans && Opts.Threads > 1 && Step == 1)
+      Plan = Opts.Plans->planFor(DS);
+    int64_t NIter = Step > 0 ? (Up - Lo) / Step + 1 : (Lo - Up) / (-Step) + 1;
+    if (NIter < 0)
+      NIter = 0;
+
+    if (!Plan || NIter < 2 ||
+        NIter * bodyWeight(DS) < Opts.MinParallelWork) {
+      for (int64_t I = Lo; Step > 0 ? I <= Up : I >= Up; I += Step) {
+        setScalar(DS->indexVar(), I, F);
+        execBody(DS->body(), F);
+      }
+      setScalar(DS->indexVar(),
+                NIter > 0 ? Lo + NIter * Step : Lo, F);
+      if (Timed)
+        Stats->LoopSeconds[DS->label()] +=
+            LoopTimer.seconds() - (VirtualAdjust - AdjustAtEntry);
+      return;
+    }
+
+    // --- Parallel execution.
+    if (Stats)
+      ++Stats->ParallelLoopRuns;
+    unsigned T = Opts.Threads;
+    if (static_cast<int64_t>(T) > NIter)
+      T = static_cast<unsigned>(NIter);
+
+    std::vector<std::unordered_map<unsigned, Buffer>> Overrides(T);
+    auto BuildPrivates = [&](unsigned W) {
+      auto &Map = Overrides[W];
+      auto AddPrivate = [&](const Symbol *S) {
+        Map.emplace(S->id(), Mem.buffer(S)); // Copy-in.
+      };
+      AddPrivate(DS->indexVar());
+      for (const Symbol *S : Plan->PrivateScalars)
+        AddPrivate(S);
+      for (const Symbol *S : Plan->PrivateArrays)
+        AddPrivate(S);
+      for (const Symbol *S : Plan->Reductions) {
+        Buffer Zero = Mem.buffer(S);
+        if (Zero.Kind == ScalarKind::Int)
+          Zero.I.assign(Zero.I.size(), 0);
+        else
+          Zero.D.assign(Zero.D.size(), 0.0);
+        Map.emplace(S->id(), std::move(Zero));
+      }
+    };
+
+    // Contiguous chunks.
+    int64_t Chunk = (NIter + T - 1) / T;
+    auto RunChunk = [&](unsigned W) {
+      int64_t First = Lo + static_cast<int64_t>(W) * Chunk;
+      int64_t Last = std::min(Up, First + Chunk - 1);
+      Frame FW;
+      FW.Overrides = &Overrides[W];
+      FW.InParallel = true;
+      for (int64_t I = First; I <= Last; ++I) {
+        setScalar(DS->indexVar(), I, FW);
+        execBody(DS->body(), FW);
+      }
+    };
+
+    if (Opts.Simulate) {
+      // Chunks run back to back; the loop's virtual cost is the slowest
+      // chunk plus the fork/join overhead model. Private-copy construction
+      // happens inside each worker's timed region (it parallelizes too).
+      double SumChunks = 0, MaxChunk = 0;
+      for (unsigned W = 0; W < T; ++W) {
+        Timer CT;
+        BuildPrivates(W);
+        RunChunk(W);
+        double Secs = CT.seconds();
+        SumChunks += Secs;
+        MaxChunk = std::max(MaxChunk, Secs);
+      }
+      double Overhead = Opts.ForkAlpha + Opts.ForkBeta * T;
+      VirtualAdjust += SumChunks - (MaxChunk + Overhead);
+    } else {
+      for (unsigned W = 0; W < T; ++W)
+        BuildPrivates(W);
+      forkJoin(T, RunChunk);
+    }
+
+    // Merge reductions: global += sum of partials.
+    for (const Symbol *S : Plan->Reductions) {
+      Buffer &G = Mem.buffer(S);
+      for (unsigned W = 0; W < T; ++W) {
+        const Buffer &Part = Overrides[W].at(S->id());
+        if (G.Kind == ScalarKind::Int)
+          G.I[0] += Part.I[0];
+        else
+          G.D[0] += Part.D[0];
+      }
+    }
+
+    // Last-value semantics: the thread that ran the last chunk writes its
+    // private copies back.
+    unsigned LastW = T - 1;
+    for (const Symbol *S : Plan->PrivateScalars)
+      Mem.buffer(S) = Overrides[LastW].at(S->id());
+    for (const Symbol *S : Plan->PrivateArrays)
+      Mem.buffer(S) = Overrides[LastW].at(S->id());
+    setScalar(DS->indexVar(), Up + 1, F);
+
+    if (Timed)
+      Stats->LoopSeconds[DS->label()] +=
+          LoopTimer.seconds() - (VirtualAdjust - AdjustAtEntry);
+  }
+
+  /// Static work estimate of one statement: assignments count 1, nested
+  /// loops are assumed to run 16 iterations. Used by the profitability
+  /// guard for parallel loops.
+  int64_t stmtWeight(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+      return 1;
+    case StmtKind::Call: {
+      const auto *CS = cast<CallStmt>(S);
+      int64_t W = 1;
+      for (const Stmt *Sub : CS->callee()->body())
+        W += stmtWeight(Sub);
+      return W;
+    }
+    case StmtKind::If: {
+      const auto *IS = cast<IfStmt>(S);
+      int64_t WT = 0, WE = 0;
+      for (const Stmt *Sub : IS->thenBody())
+        WT += stmtWeight(Sub);
+      for (const Stmt *Sub : IS->elseBody())
+        WE += stmtWeight(Sub);
+      return 1 + std::max(WT, WE);
+    }
+    case StmtKind::Do: {
+      int64_t W = 0;
+      for (const Stmt *Sub : cast<DoStmt>(S)->body())
+        W += stmtWeight(Sub);
+      return 2 + 16 * W;
+    }
+    case StmtKind::While: {
+      int64_t W = 0;
+      for (const Stmt *Sub : cast<WhileStmt>(S)->body())
+        W += stmtWeight(Sub);
+      return 2 + 16 * W;
+    }
+    }
+    return 1;
+  }
+
+  int64_t bodyWeight(const DoStmt *DS) {
+    auto [It, Inserted] = BodyWeights.try_emplace(DS, 0);
+    if (Inserted)
+      for (const Stmt *Sub : DS->body())
+        It->second += stmtWeight(Sub);
+    return It->second;
+  }
+
+public:
+  /// Seconds of serialized surplus from simulated parallel loops; the
+  /// virtual run time is wall time minus this.
+  double VirtualAdjust = 0;
+
+private:
+  const Program &Prog;
+  Memory &Mem;
+  const ExecOptions &Opts;
+  ExecStats *Stats;
+  std::vector<std::vector<int64_t>> DimExtents;
+  std::map<const DoStmt *, int64_t> BodyWeights;
+};
+
+} // namespace
+
+Memory Interpreter::run(const ExecOptions &Opts, ExecStats *Stats) {
+  Memory Mem(Prog);
+  Timer Total;
+  Exec E(Prog, Mem, Opts, Stats);
+  E.runMain();
+  if (Stats) {
+    Stats->WallSeconds = Total.seconds();
+    Stats->TotalSeconds = Stats->WallSeconds - E.VirtualAdjust;
+  }
+  return Mem;
+}

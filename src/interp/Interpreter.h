@@ -1,0 +1,132 @@
+//===- interp/Interpreter.h - MF execution engine ---------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking executor for MF programs, with a parallel do-loop mode
+/// driven by the parallelizer's plans. This is the runtime substrate for the
+/// speedup experiments (Fig. 16): a loop the pipeline marked parallel is
+/// executed fork/join over contiguous iteration chunks; arrays and scalars
+/// the plan privatized get per-thread copies; recognized sum reductions use
+/// per-thread partials merged after the join; the thread that ran the last
+/// chunk writes its private copies back (Fortran's last-value semantics).
+///
+/// Correctness is checked in the tests by comparing checksums of parallel
+/// and serial runs of every benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_INTERP_INTERPRETER_H
+#define IAA_INTERP_INTERPRETER_H
+
+#include "mf/Program.h"
+#include "xform/Parallelizer.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iaa {
+namespace interp {
+
+/// Storage for one variable: a scalar is a size-1 buffer.
+struct Buffer {
+  mf::ScalarKind Kind = mf::ScalarKind::Int;
+  std::vector<int64_t> I;
+  std::vector<double> D;
+
+  size_t size() const {
+    return Kind == mf::ScalarKind::Int ? I.size() : D.size();
+  }
+};
+
+/// Whole-program memory: one buffer per symbol, indexed by symbol id.
+class Memory {
+public:
+  explicit Memory(const mf::Program &P);
+
+  Buffer &buffer(const mf::Symbol *S) { return Buffers[S->id()]; }
+  const Buffer &buffer(const mf::Symbol *S) const { return Buffers[S->id()]; }
+
+  int64_t intScalar(const mf::Symbol *S) const { return Buffers[S->id()].I[0]; }
+  double realScalar(const mf::Symbol *S) const { return Buffers[S->id()].D[0]; }
+
+  /// A deterministic digest of all variables, for serial/parallel
+  /// equivalence checks.
+  double checksum() const;
+
+  /// Digest that skips the buffers of the given symbol ids. Arrays that a
+  /// parallel plan privatized and that are dead after the loop have
+  /// unspecified contents (OpenMP PRIVATE semantics) and must be excluded
+  /// when comparing against a serial run.
+  double checksumExcluding(const std::set<unsigned> &ExcludeIds) const;
+
+private:
+  std::vector<Buffer> Buffers;
+};
+
+/// The symbol ids whose post-run contents are unspecified under \p Plans
+/// (privatized arrays of parallel loops).
+std::set<unsigned> deadPrivateIds(const xform::PipelineResult &Plans);
+
+/// Execution options.
+struct ExecOptions {
+  /// Parallel plans; null runs everything serially.
+  const xform::PipelineResult *Plans = nullptr;
+  /// Worker count for parallel loops.
+  unsigned Threads = 1;
+  /// Simulated multiprocessor mode: chunks run sequentially, each timed,
+  /// and a parallel loop costs max(chunk times) plus a fork/join overhead
+  /// of ForkAlpha + ForkBeta * Threads seconds. Semantically identical to
+  /// the threaded mode; used to reproduce the Fig. 16 speedup curves on
+  /// hosts without enough cores (speedup *shape* — Amdahl fractions, load
+  /// imbalance, per-invocation overhead — is preserved).
+  bool Simulate = false;
+  double ForkAlpha = 50e-6;
+  double ForkBeta = 3e-6;
+  /// Profitability heuristic: a marked-parallel loop only forks when its
+  /// estimated work (trip count times a static body weight, nested loops
+  /// assumed 16 iterations) reaches this threshold. Vendor parallelizers
+  /// guard tiny loops the same way; set to 0 for Polaris-faithful
+  /// unguarded execution (the paper's Fig. 16(e) tiny-input slowdown needs
+  /// the guard off).
+  int64_t MinParallelWork = 1024;
+};
+
+/// Per-run execution statistics. In simulated mode every time below is
+/// virtual time (wall time minus the serialized surplus of simulated
+/// parallel loops); in threaded/serial mode it equals wall time.
+struct ExecStats {
+  /// Seconds per labeled loop (accumulated over invocations, measured at
+  /// the outermost entry of that label).
+  std::map<std::string, double> LoopSeconds;
+  double TotalSeconds = 0;
+  /// Actual wall-clock seconds of the run.
+  double WallSeconds = 0;
+  /// Number of loop invocations executed in parallel.
+  unsigned ParallelLoopRuns = 0;
+};
+
+/// Runs \p P (starting at "main") against fresh memory; returns the final
+/// memory and fills \p Stats if given.
+class Interpreter {
+public:
+  explicit Interpreter(const mf::Program &P) : Prog(P) {}
+
+  /// Executes the program; the returned Memory holds the final state.
+  Memory run(const ExecOptions &Opts, ExecStats *Stats = nullptr);
+
+private:
+  const mf::Program &Prog;
+};
+
+} // namespace interp
+} // namespace iaa
+
+#endif // IAA_INTERP_INTERPRETER_H

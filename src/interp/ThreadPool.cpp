@@ -1,0 +1,28 @@
+//===- interp/ThreadPool.cpp - Fork/join helper ---------------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ThreadPool.h"
+
+#include <thread>
+#include <vector>
+
+using namespace iaa;
+
+void iaa::interp::forkJoin(unsigned Workers,
+                           const std::function<void(unsigned)> &Fn) {
+  if (Workers <= 1) {
+    Fn(0);
+    return;
+  }
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers - 1);
+  for (unsigned W = 1; W < Workers; ++W)
+    Threads.emplace_back([&Fn, W] { Fn(W); });
+  Fn(0);
+  for (std::thread &T : Threads)
+    T.join();
+}

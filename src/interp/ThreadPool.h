@@ -1,0 +1,30 @@
+//===- interp/ThreadPool.h - Fork/join helper for parallel loops -*- C++ -*-=//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fork/join primitive: run N workers, wait for all. Parallel do
+/// loops in the interpreter are fork/join at loop granularity — the same
+/// execution model the paper's SGI Origin runs used (parallel do).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_INTERP_THREADPOOL_H
+#define IAA_INTERP_THREADPOOL_H
+
+#include <functional>
+
+namespace iaa {
+namespace interp {
+
+/// Runs \p Fn(worker) on \p Workers threads (worker 0 runs on the calling
+/// thread) and joins them all.
+void forkJoin(unsigned Workers, const std::function<void(unsigned)> &Fn);
+
+} // namespace interp
+} // namespace iaa
+
+#endif // IAA_INTERP_THREADPOOL_H

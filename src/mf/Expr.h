@@ -1,0 +1,188 @@
+//===- mf/Expr.h - Expression AST for the MF language -----------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression nodes of the MF AST. Expressions are immutable once built and
+/// owned by the enclosing Program's arena; analyses hold plain pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_MF_EXPR_H
+#define IAA_MF_EXPR_H
+
+#include "mf/Symbol.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace mf {
+
+/// Discriminator for the Expr hierarchy.
+enum class ExprKind {
+  IntLit,
+  RealLit,
+  VarRef,
+  ArrayRef,
+  Unary,
+  Binary,
+};
+
+/// Base class of all MF expressions.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Renders the expression as MF source text.
+  std::string str() const;
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+/// An integer literal.
+class IntLit : public Expr {
+public:
+  IntLit(int64_t Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A real (floating point) literal.
+class RealLit : public Expr {
+public:
+  RealLit(double Value, SourceLoc Loc)
+      : Expr(ExprKind::RealLit, Loc), Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::RealLit; }
+
+private:
+  double Value;
+};
+
+/// A reference to a scalar variable.
+class VarRef : public Expr {
+public:
+  VarRef(const Symbol *Var, SourceLoc Loc)
+      : Expr(ExprKind::VarRef, Loc), Var(Var) {}
+
+  const Symbol *symbol() const { return Var; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+
+private:
+  const Symbol *Var;
+};
+
+/// A subscripted array reference a(e1[, e2]).
+class ArrayRef : public Expr {
+public:
+  ArrayRef(const Symbol *Array, std::vector<const Expr *> Subscripts,
+           SourceLoc Loc)
+      : Expr(ExprKind::ArrayRef, Loc), Array(Array),
+        Subscripts(std::move(Subscripts)) {}
+
+  const Symbol *array() const { return Array; }
+  unsigned rank() const { return static_cast<unsigned>(Subscripts.size()); }
+  const Expr *subscript(unsigned Dim) const { return Subscripts[Dim]; }
+  const std::vector<const Expr *> &subscripts() const { return Subscripts; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ArrayRef;
+  }
+
+private:
+  const Symbol *Array;
+  std::vector<const Expr *> Subscripts;
+};
+
+/// Unary operators.
+enum class UnaryOp { Neg, Not };
+
+/// A unary expression.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, const Expr *Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(Operand) {}
+
+  UnaryOp op() const { return Op; }
+  const Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+private:
+  UnaryOp Op;
+  const Expr *Operand;
+};
+
+/// Binary operators, including comparisons, logical connectives, and the
+/// min/max/mod intrinsics (which parse as calls but are binary operations).
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Min,
+  Max,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+/// True for ==, /=, <, <=, >, >=.
+bool isComparisonOp(BinaryOp Op);
+/// True for 'and' / 'or'.
+bool isLogicalOp(BinaryOp Op);
+/// MF source spelling of \p Op.
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, const Expr *LHS, const Expr *RHS, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp op() const { return Op; }
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+private:
+  BinaryOp Op;
+  const Expr *LHS;
+  const Expr *RHS;
+};
+
+} // namespace mf
+} // namespace iaa
+
+#endif // IAA_MF_EXPR_H

@@ -1,0 +1,103 @@
+//===- mf/Parser.h - Recursive-descent parser for MF ------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses MF source into a Program. The grammar:
+///
+/// \code
+///   program  := 'program' IDENT decl* proc* stmt* 'end'
+///   decl     := ('integer'|'real') item (',' item)*
+///   item     := IDENT [ '(' expr (',' expr)* ')' ]
+///   proc     := 'procedure' IDENT stmt* 'end'
+///   stmt     := [IDENT ':'] 'do' IDENT '=' expr ',' expr [',' expr]
+///                  stmt* 'end' 'do'
+///             | 'while' '(' expr ')' stmt* 'end' 'while'
+///             | 'if' '(' expr ')' 'then' stmt* ['else' stmt*] 'end' 'if'
+///             | 'call' IDENT
+///             | lvalue '=' expr
+/// \endcode
+///
+/// Expressions use conventional precedence (or < and < not < comparison <
+/// additive < multiplicative < unary). min/max/mod parse as intrinsic calls.
+/// Semantic checks (declared-before-use, rank agreement, integer loop
+/// indices, resolvable call targets) run inline and report into the
+/// DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_MF_PARSER_H
+#define IAA_MF_PARSER_H
+
+#include "mf/Program.h"
+#include "mf/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace mf {
+
+/// Parses \p Source; returns null if any error was diagnosed.
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      DiagnosticEngine &Diags);
+
+namespace detail {
+
+/// The recursive-descent parser; exposed for white-box unit tests.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  std::unique_ptr<Program> parse();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void expectEnd(TokenKind Opener, const char *What);
+
+  void parseDecl(Program &P);
+  void parseProcedureBody(Program &P, Procedure *Proc);
+  StmtList parseStmtList(Program &P);
+  Stmt *parseStmt(Program &P);
+  Stmt *parseDo(Program &P, std::string Label);
+  Stmt *parseWhile(Program &P);
+  Stmt *parseIf(Program &P);
+  Stmt *parseCall(Program &P);
+  Stmt *parseAssign(Program &P);
+
+  const Expr *parseExpr(Program &P);
+  const Expr *parseOr(Program &P);
+  const Expr *parseAnd(Program &P);
+  const Expr *parseNot(Program &P);
+  const Expr *parseComparison(Program &P);
+  const Expr *parseAdditive(Program &P);
+  const Expr *parseMultiplicative(Program &P);
+  const Expr *parseUnary(Program &P);
+  const Expr *parsePrimary(Program &P);
+
+  /// Parses IDENT or IDENT(subscripts) as a reference; used for both
+  /// rvalues and assignment targets.
+  const Expr *parseReference(Program &P);
+
+  /// True when the current tokens begin a statement.
+  bool atStmtStart() const;
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace detail
+} // namespace mf
+} // namespace iaa
+
+#endif // IAA_MF_PARSER_H

@@ -1,0 +1,350 @@
+//===- mf/Program.cpp - Whole-program container implementation -----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mf/Program.h"
+
+#include <cassert>
+
+using namespace iaa;
+using namespace iaa::mf;
+
+bool iaa::mf::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool iaa::mf::isLogicalOp(BinaryOp Op) {
+  return Op == BinaryOp::And || Op == BinaryOp::Or;
+}
+
+const char *iaa::mf::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Mod: return "mod";
+  case BinaryOp::Min: return "min";
+  case BinaryOp::Max: return "max";
+  case BinaryOp::Eq:  return "==";
+  case BinaryOp::Ne:  return "/=";
+  case BinaryOp::Lt:  return "<";
+  case BinaryOp::Le:  return "<=";
+  case BinaryOp::Gt:  return ">";
+  case BinaryOp::Ge:  return ">=";
+  case BinaryOp::And: return "and";
+  case BinaryOp::Or:  return "or";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Expression printing
+//===----------------------------------------------------------------------===//
+
+std::string Expr::str() const {
+  switch (kind()) {
+  case ExprKind::IntLit:
+    return std::to_string(cast<IntLit>(this)->value());
+  case ExprKind::RealLit: {
+    std::string S = std::to_string(cast<RealLit>(this)->value());
+    return S;
+  }
+  case ExprKind::VarRef:
+    return cast<VarRef>(this)->symbol()->name();
+  case ExprKind::ArrayRef: {
+    const auto *AR = cast<ArrayRef>(this);
+    std::string S = AR->array()->name() + "(";
+    for (unsigned I = 0; I < AR->rank(); ++I) {
+      if (I)
+        S += ", ";
+      S += AR->subscript(I)->str();
+    }
+    return S + ")";
+  }
+  case ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(this);
+    const char *Op = UE->op() == UnaryOp::Neg ? "-" : "not ";
+    return std::string(Op) + "(" + UE->operand()->str() + ")";
+  }
+  case ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(this);
+    BinaryOp Op = BE->op();
+    if (Op == BinaryOp::Min || Op == BinaryOp::Max || Op == BinaryOp::Mod)
+      return std::string(binaryOpSpelling(Op)) + "(" + BE->lhs()->str() +
+             ", " + BE->rhs()->str() + ")";
+    return "(" + BE->lhs()->str() + " " + binaryOpSpelling(Op) + " " +
+           BE->rhs()->str() + ")";
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Statement helpers and printing
+//===----------------------------------------------------------------------===//
+
+const Symbol *AssignStmt::writtenSymbol() const {
+  if (const auto *VR = dyn_cast<VarRef>(LHS))
+    return VR->symbol();
+  return cast<ArrayRef>(LHS)->array();
+}
+
+static void printBody(const StmtList &Body, unsigned Indent,
+                      std::string &Out) {
+  for (const Stmt *S : Body)
+    Out += S->str(Indent);
+}
+
+std::string Stmt::str(unsigned Indent) const {
+  std::string Pad(Indent * 2, ' ');
+  std::string Out;
+  switch (kind()) {
+  case StmtKind::Assign: {
+    const auto *AS = cast<AssignStmt>(this);
+    Out = Pad + AS->lhs()->str() + " = " + AS->rhs()->str() + "\n";
+    break;
+  }
+  case StmtKind::If: {
+    const auto *IS = cast<IfStmt>(this);
+    Out = Pad + "if (" + IS->condition()->str() + ") then\n";
+    printBody(IS->thenBody(), Indent + 1, Out);
+    if (!IS->elseBody().empty()) {
+      Out += Pad + "else\n";
+      printBody(IS->elseBody(), Indent + 1, Out);
+    }
+    Out += Pad + "end if\n";
+    break;
+  }
+  case StmtKind::Do: {
+    const auto *DS = cast<DoStmt>(this);
+    Out = Pad;
+    if (!DS->label().empty())
+      Out += DS->label() + ": ";
+    Out += "do " + DS->indexVar()->name() + " = " + DS->lower()->str() +
+           ", " + DS->upper()->str();
+    if (DS->step())
+      Out += ", " + DS->step()->str();
+    Out += "\n";
+    printBody(DS->body(), Indent + 1, Out);
+    Out += Pad + "end do\n";
+    break;
+  }
+  case StmtKind::While: {
+    const auto *WS = cast<WhileStmt>(this);
+    Out = Pad + "while (" + WS->condition()->str() + ")\n";
+    printBody(WS->body(), Indent + 1, Out);
+    Out += Pad + "end while\n";
+    break;
+  }
+  case StmtKind::Call: {
+    const auto *CS = cast<CallStmt>(this);
+    Out = Pad + "call " + CS->calleeName() + "\n";
+    break;
+  }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+template <typename T, typename... Args> T *Program::alloc(Args &&...As) {
+  auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+  T *Raw = Owned.get();
+  if constexpr (std::is_base_of_v<Expr, T>)
+    ExprArena.push_back(std::move(Owned));
+  else
+    StmtArena.push_back(std::move(Owned));
+  return Raw;
+}
+
+Symbol *Program::declareSymbol(const std::string &Name, ScalarKind Elem,
+                               std::vector<const Expr *> Extents) {
+  if (SymbolsByName.count(Name))
+    return nullptr;
+  auto Owned =
+      std::make_unique<Symbol>(Name, Elem, std::move(Extents), NextSymbolId++);
+  Symbol *Raw = Owned.get();
+  SymbolArena.push_back(std::move(Owned));
+  SymbolsByName[Name] = Raw;
+  SymbolList.push_back(Raw);
+  return Raw;
+}
+
+Symbol *Program::findSymbol(const std::string &Name) const {
+  auto It = SymbolsByName.find(Name);
+  return It == SymbolsByName.end() ? nullptr : It->second;
+}
+
+Procedure *Program::createProcedure(const std::string &Name) {
+  if (ProcsByName.count(Name))
+    return nullptr;
+  auto Owned = std::make_unique<Procedure>(Name, NextProcId++);
+  Procedure *Raw = Owned.get();
+  ProcArena.push_back(std::move(Owned));
+  ProcsByName[Name] = Raw;
+  ProcList.push_back(Raw);
+  return Raw;
+}
+
+Procedure *Program::findProcedure(const std::string &Name) const {
+  auto It = ProcsByName.find(Name);
+  return It == ProcsByName.end() ? nullptr : It->second;
+}
+
+const IntLit *Program::makeIntLit(int64_t Value, SourceLoc Loc) {
+  return alloc<IntLit>(Value, Loc);
+}
+
+const RealLit *Program::makeRealLit(double Value, SourceLoc Loc) {
+  return alloc<RealLit>(Value, Loc);
+}
+
+const VarRef *Program::makeVarRef(const Symbol *Var, SourceLoc Loc) {
+  assert(Var && "null symbol in VarRef");
+  return alloc<VarRef>(Var, Loc);
+}
+
+const ArrayRef *Program::makeArrayRef(const Symbol *Array,
+                                      std::vector<const Expr *> Subscripts,
+                                      SourceLoc Loc) {
+  assert(Array && Array->isArray() && "ArrayRef needs an array symbol");
+  return alloc<ArrayRef>(Array, std::move(Subscripts), Loc);
+}
+
+const UnaryExpr *Program::makeUnary(UnaryOp Op, const Expr *Operand,
+                                    SourceLoc Loc) {
+  return alloc<UnaryExpr>(Op, Operand, Loc);
+}
+
+const BinaryExpr *Program::makeBinary(BinaryOp Op, const Expr *LHS,
+                                      const Expr *RHS, SourceLoc Loc) {
+  return alloc<BinaryExpr>(Op, LHS, RHS, Loc);
+}
+
+AssignStmt *Program::makeAssign(const Expr *LHS, const Expr *RHS,
+                                SourceLoc Loc) {
+  assert((isa<VarRef>(LHS) || isa<ArrayRef>(LHS)) &&
+         "assignment target must be a variable or array element");
+  return alloc<AssignStmt>(LHS, RHS, Loc, NextStmtId++);
+}
+
+IfStmt *Program::makeIf(const Expr *Cond, StmtList Then, StmtList Else,
+                        SourceLoc Loc) {
+  return alloc<IfStmt>(Cond, std::move(Then), std::move(Else), Loc,
+                       NextStmtId++);
+}
+
+DoStmt *Program::makeDo(const Symbol *IndexVar, const Expr *Lower,
+                        const Expr *Upper, const Expr *Step, StmtList Body,
+                        std::string Label, SourceLoc Loc) {
+  assert(IndexVar && !IndexVar->isArray() && "do index must be a scalar");
+  return alloc<DoStmt>(IndexVar, Lower, Upper, Step, std::move(Body),
+                       std::move(Label), Loc, NextStmtId++);
+}
+
+WhileStmt *Program::makeWhile(const Expr *Cond, StmtList Body, SourceLoc Loc) {
+  return alloc<WhileStmt>(Cond, std::move(Body), Loc, NextStmtId++);
+}
+
+CallStmt *Program::makeCall(std::string CalleeName, SourceLoc Loc) {
+  return alloc<CallStmt>(std::move(CalleeName), Loc, NextStmtId++);
+}
+
+static void relinkBody(StmtList &Body, Stmt *Parent, Procedure *Proc) {
+  for (Stmt *S : Body) {
+    S->setParent(Parent);
+    S->setProcedure(Proc);
+    if (auto *IS = dyn_cast<IfStmt>(S)) {
+      relinkBody(IS->thenBody(), S, Proc);
+      relinkBody(IS->elseBody(), S, Proc);
+    } else if (auto *DS = dyn_cast<DoStmt>(S)) {
+      relinkBody(DS->body(), S, Proc);
+    } else if (auto *WS = dyn_cast<WhileStmt>(S)) {
+      relinkBody(WS->body(), S, Proc);
+    }
+  }
+}
+
+void Program::relinkParents() {
+  for (Procedure *P : ProcList)
+    relinkBody(P->body(), /*Parent=*/nullptr, P);
+}
+
+void Program::forEachStmtIn(const StmtList &Body,
+                            const std::function<void(Stmt *)> &Fn) {
+  for (Stmt *S : Body) {
+    Fn(S);
+    if (auto *IS = dyn_cast<IfStmt>(S)) {
+      forEachStmtIn(IS->thenBody(), Fn);
+      forEachStmtIn(IS->elseBody(), Fn);
+    } else if (auto *DS = dyn_cast<DoStmt>(S)) {
+      forEachStmtIn(DS->body(), Fn);
+    } else if (auto *WS = dyn_cast<WhileStmt>(S)) {
+      forEachStmtIn(WS->body(), Fn);
+    }
+  }
+}
+
+void Program::forEachStmt(const std::function<void(Stmt *)> &Fn) const {
+  for (Procedure *P : ProcList)
+    forEachStmtIn(P->body(), Fn);
+}
+
+DoStmt *Program::findLoop(const std::string &Label) const {
+  DoStmt *Found = nullptr;
+  forEachStmt([&](Stmt *S) {
+    if (Found)
+      return;
+    if (auto *DS = dyn_cast<DoStmt>(S))
+      if (DS->label() == Label)
+        Found = DS;
+  });
+  return Found;
+}
+
+std::string Program::str() const {
+  std::string Out = "program p\n";
+  for (const Symbol *Sym : SymbolList) {
+    Out += Sym->elementKind() == ScalarKind::Int ? "  integer " : "  real ";
+    Out += Sym->name();
+    if (Sym->isArray()) {
+      Out += "(";
+      for (unsigned D = 0; D < Sym->rank(); ++D) {
+        if (D)
+          Out += ", ";
+        Out += Sym->extent(D)->str();
+      }
+      Out += ")";
+    }
+    Out += "\n";
+  }
+  for (const Procedure *P : ProcList) {
+    if (P->name() == "main")
+      continue;
+    Out += "  procedure " + P->name() + "\n";
+    for (const Stmt *S : P->body())
+      Out += S->str(2);
+    Out += "  end\n";
+  }
+  if (const Procedure *Main = mainProcedure())
+    for (const Stmt *S : Main->body())
+      Out += S->str(1);
+  Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,149 @@
+//===- mf/Program.h - Whole-program container for MF ------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Program class owns every AST node, symbol, and procedure of a parsed
+/// MF program (arena style), numbers statements and symbols densely, and
+/// offers factory methods used by the parser and by transformation passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_MF_PROGRAM_H
+#define IAA_MF_PROGRAM_H
+
+#include "mf/Stmt.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iaa {
+namespace mf {
+
+/// A parameterless procedure. The body communicates with the rest of the
+/// program through global variables (the paper's interprocedural model).
+class Procedure {
+public:
+  Procedure(std::string Name, unsigned Id) : Name(std::move(Name)), Id(Id) {}
+
+  const std::string &name() const { return Name; }
+  unsigned id() const { return Id; }
+  const StmtList &body() const { return Body; }
+  StmtList &body() { return Body; }
+
+private:
+  std::string Name;
+  unsigned Id;
+  StmtList Body;
+};
+
+/// A whole MF program: global symbols, procedures, and a main body (stored
+/// as the procedure named "main").
+class Program {
+public:
+  Program() = default;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  /// \name Symbols
+  /// @{
+
+  /// Declares a new global variable. Returns null (and leaves the table
+  /// unchanged) if the name is already taken.
+  Symbol *declareSymbol(const std::string &Name, ScalarKind Elem,
+                        std::vector<const Expr *> Extents);
+
+  /// Finds a symbol by (lower-case) name, or null.
+  Symbol *findSymbol(const std::string &Name) const;
+
+  const std::vector<Symbol *> &symbols() const { return SymbolList; }
+  /// @}
+
+  /// \name Procedures
+  /// @{
+  Procedure *createProcedure(const std::string &Name);
+  Procedure *findProcedure(const std::string &Name) const;
+  const std::vector<Procedure *> &procedures() const { return ProcList; }
+
+  /// The program entry: the procedure named "main".
+  Procedure *mainProcedure() const { return findProcedure("main"); }
+  /// @}
+
+  /// \name Expression factories
+  /// @{
+  const IntLit *makeIntLit(int64_t Value, SourceLoc Loc = {});
+  const RealLit *makeRealLit(double Value, SourceLoc Loc = {});
+  const VarRef *makeVarRef(const Symbol *Var, SourceLoc Loc = {});
+  const ArrayRef *makeArrayRef(const Symbol *Array,
+                               std::vector<const Expr *> Subscripts,
+                               SourceLoc Loc = {});
+  const UnaryExpr *makeUnary(UnaryOp Op, const Expr *Operand,
+                             SourceLoc Loc = {});
+  const BinaryExpr *makeBinary(BinaryOp Op, const Expr *LHS, const Expr *RHS,
+                               SourceLoc Loc = {});
+  /// @}
+
+  /// \name Statement factories
+  /// @{
+  AssignStmt *makeAssign(const Expr *LHS, const Expr *RHS, SourceLoc Loc = {});
+  IfStmt *makeIf(const Expr *Cond, StmtList Then, StmtList Else,
+                 SourceLoc Loc = {});
+  DoStmt *makeDo(const Symbol *IndexVar, const Expr *Lower, const Expr *Upper,
+                 const Expr *Step, StmtList Body, std::string Label = "",
+                 SourceLoc Loc = {});
+  WhileStmt *makeWhile(const Expr *Cond, StmtList Body, SourceLoc Loc = {});
+  CallStmt *makeCall(std::string CalleeName, SourceLoc Loc = {});
+  /// @}
+
+  /// Total number of statements ever created (ids are in [0, numStmts())).
+  unsigned numStmts() const { return NextStmtId; }
+  /// Total number of symbols (ids are in [0, numSymbols())).
+  unsigned numSymbols() const { return NextSymbolId; }
+
+  /// Recomputes parent/procedure links for every statement. Must be called
+  /// after parsing and after any structural transformation.
+  void relinkParents();
+
+  /// Visits every statement in the program in lexical order, recursing into
+  /// if/do/while bodies. The callback may not mutate the structure.
+  void forEachStmt(const std::function<void(Stmt *)> &Fn) const;
+
+  /// Visits every statement of \p Body and its nested bodies.
+  static void forEachStmtIn(const StmtList &Body,
+                            const std::function<void(Stmt *)> &Fn);
+
+  /// Finds the first Do loop with the given label anywhere in the program,
+  /// or null. Labels are how benchmarks name loops ("do140", "do240", ...).
+  DoStmt *findLoop(const std::string &Label) const;
+
+  /// Renders the whole program as MF source text.
+  std::string str() const;
+
+private:
+  template <typename T, typename... Args> T *alloc(Args &&...As);
+
+  std::vector<std::unique_ptr<Expr>> ExprArena;
+  std::vector<std::unique_ptr<Stmt>> StmtArena;
+  std::vector<std::unique_ptr<Symbol>> SymbolArena;
+  std::vector<std::unique_ptr<Procedure>> ProcArena;
+
+  std::unordered_map<std::string, Symbol *> SymbolsByName;
+  std::vector<Symbol *> SymbolList;
+  std::unordered_map<std::string, Procedure *> ProcsByName;
+  std::vector<Procedure *> ProcList;
+
+  unsigned NextStmtId = 0;
+  unsigned NextSymbolId = 0;
+  unsigned NextProcId = 0;
+};
+
+} // namespace mf
+} // namespace iaa
+
+#endif // IAA_MF_PROGRAM_H

@@ -1,0 +1,204 @@
+//===- mf/Stmt.h - Statement AST for the MF language ------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement nodes of the MF AST: assignment, if/then/else, do loops, while
+/// loops, and parameterless procedure calls. Every statement carries a dense
+/// program-unique id so analyses can use vectors instead of maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_MF_STMT_H
+#define IAA_MF_STMT_H
+
+#include "mf/Expr.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace mf {
+
+class Procedure;
+class Stmt;
+
+/// An ordered list of statements (one lexical block).
+using StmtList = std::vector<Stmt *>;
+
+/// Discriminator for the Stmt hierarchy.
+enum class StmtKind {
+  Assign,
+  If,
+  Do,
+  While,
+  Call,
+};
+
+/// Base class of all MF statements.
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  unsigned id() const { return Id; }
+
+  /// The statement lexically enclosing this one (a Do/While/If), or null for
+  /// top-level statements of a procedure body.
+  Stmt *parent() const { return Parent; }
+  void setParent(Stmt *P) { Parent = P; }
+
+  /// The procedure whose body (transitively) contains this statement.
+  Procedure *procedure() const { return Proc; }
+  void setProcedure(Procedure *P) { Proc = P; }
+
+  /// Renders the statement (and substatements) as indented MF source text.
+  std::string str(unsigned Indent = 0) const;
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc, unsigned Id)
+      : Kind(Kind), Loc(Loc), Id(Id) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+  unsigned Id;
+  Stmt *Parent = nullptr;
+  Procedure *Proc = nullptr;
+};
+
+/// An assignment `lhs = rhs` where lhs is a VarRef or ArrayRef.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(const Expr *LHS, const Expr *RHS, SourceLoc Loc, unsigned Id)
+      : Stmt(StmtKind::Assign, Loc, Id), LHS(LHS), RHS(RHS) {}
+
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
+  void setRHS(const Expr *E) { RHS = E; }
+  /// Replaces the target; \p E must be a VarRef or ArrayRef.
+  void setLHS(const Expr *E) {
+    assert((isa<VarRef>(E) || isa<ArrayRef>(E)) && "bad assignment target");
+    LHS = E;
+  }
+
+  /// The symbol written by this assignment.
+  const Symbol *writtenSymbol() const;
+  /// Null unless the target is an array element.
+  const ArrayRef *arrayTarget() const { return dyn_cast<ArrayRef>(LHS); }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
+
+private:
+  const Expr *LHS;
+  const Expr *RHS;
+};
+
+/// An if/then/else statement.
+class IfStmt : public Stmt {
+public:
+  IfStmt(const Expr *Cond, StmtList Then, StmtList Else, SourceLoc Loc,
+         unsigned Id)
+      : Stmt(StmtKind::If, Loc, Id), Cond(Cond), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr *condition() const { return Cond; }
+  void setCondition(const Expr *E) { Cond = E; }
+  const StmtList &thenBody() const { return Then; }
+  const StmtList &elseBody() const { return Else; }
+  StmtList &thenBody() { return Then; }
+  StmtList &elseBody() { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  const Expr *Cond;
+  StmtList Then;
+  StmtList Else;
+};
+
+/// A counted `do i = lb, ub[, step]` loop; optionally labeled (`do140:`)
+/// so experiments can refer to loops by the names used in the paper.
+class DoStmt : public Stmt {
+public:
+  DoStmt(const Symbol *IndexVar, const Expr *Lower, const Expr *Upper,
+         const Expr *Step, StmtList Body, std::string Label, SourceLoc Loc,
+         unsigned Id)
+      : Stmt(StmtKind::Do, Loc, Id), IndexVar(IndexVar), Lower(Lower),
+        Upper(Upper), Step(Step), Body(std::move(Body)),
+        Label(std::move(Label)) {}
+
+  const Symbol *indexVar() const { return IndexVar; }
+  const Expr *lower() const { return Lower; }
+  const Expr *upper() const { return Upper; }
+  /// Step expression; null means the default step of 1.
+  const Expr *step() const { return Step; }
+  /// Replaces the bound expressions (used by rewriting passes).
+  void setBounds(const Expr *NewLower, const Expr *NewUpper,
+                 const Expr *NewStep) {
+    Lower = NewLower;
+    Upper = NewUpper;
+    Step = NewStep;
+  }
+  const StmtList &body() const { return Body; }
+  StmtList &body() { return Body; }
+  const std::string &label() const { return Label; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Do; }
+
+private:
+  const Symbol *IndexVar;
+  const Expr *Lower;
+  const Expr *Upper;
+  const Expr *Step;
+  StmtList Body;
+  std::string Label;
+};
+
+/// A `while (cond) ... end while` loop (Fig. 1(a) of the paper needs these;
+/// they participate in the single-indexed analysis but are opaque to the HCG
+/// aggregation, which per Sec. 3.2.1 assumes do loops).
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(const Expr *Cond, StmtList Body, SourceLoc Loc, unsigned Id)
+      : Stmt(StmtKind::While, Loc, Id), Cond(Cond), Body(std::move(Body)) {}
+
+  const Expr *condition() const { return Cond; }
+  void setCondition(const Expr *E) { Cond = E; }
+  const StmtList &body() const { return Body; }
+  StmtList &body() { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  const Expr *Cond;
+  StmtList Body;
+};
+
+/// A parameterless procedure call; all communication is via globals.
+class CallStmt : public Stmt {
+public:
+  CallStmt(std::string CalleeName, SourceLoc Loc, unsigned Id)
+      : Stmt(StmtKind::Call, Loc, Id), CalleeName(std::move(CalleeName)) {}
+
+  const std::string &calleeName() const { return CalleeName; }
+  Procedure *callee() const { return Callee; }
+  void setCallee(Procedure *P) { Callee = P; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Call; }
+
+private:
+  std::string CalleeName;
+  Procedure *Callee = nullptr;
+};
+
+} // namespace mf
+} // namespace iaa
+
+#endif // IAA_MF_STMT_H

@@ -1,0 +1,86 @@
+//===- mf/Token.h - Token definitions for the MF language -------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of MF ("mini Fortran"), the small structured language this project
+/// analyzes. MF covers exactly the subset of Fortran 77 that the paper's
+/// formalization assumes: do/while/if statements, assignments, parameterless
+/// procedure calls (communication through global variables), and integer and
+/// real scalars and arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_MF_TOKEN_H
+#define IAA_MF_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace iaa {
+namespace mf {
+
+/// Kinds of MF tokens.
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+
+  // Keywords.
+  KwProgram,
+  KwProcedure,
+  KwInteger,
+  KwReal,
+  KwDo,
+  KwWhile,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwEnd,
+  KwCall,
+  KwAnd,
+  KwOr,
+  KwNot,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  Assign, // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  EqEq,   // ==
+  NotEq,  // /= or !=
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+};
+
+/// Returns a human-readable spelling of \p Kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed MF token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier spelling (lower-cased).
+  int64_t IntValue = 0;
+  double RealValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace mf
+} // namespace iaa
+
+#endif // IAA_MF_TOKEN_H

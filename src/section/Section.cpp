@@ -1,0 +1,252 @@
+//===- section/Section.cpp - Symbolic array sections ----------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "section/Section.h"
+
+using namespace iaa;
+using namespace iaa::sec;
+using namespace iaa::sym;
+
+bool Section::equals(const Section &RHS) const {
+  if (K != RHS.K)
+    return false;
+  if (K != Kind::Interval)
+    return true;
+  return Lo.equals(RHS.Lo) && Hi.equals(RHS.Hi);
+}
+
+std::string Section::str() const {
+  switch (K) {
+  case Kind::Empty:
+    return "{}";
+  case Kind::Universe:
+    return "[-inf:+inf]";
+  case Kind::Interval:
+    return "[" + Lo.str() + ":" + Hi.str() + "]";
+  }
+  return "?";
+}
+
+bool Section::provablyDisjoint(const Section &A, const Section &B,
+                               const RangeEnv &Env) {
+  if (A.isEmpty() || B.isEmpty())
+    return true;
+  if (A.isUniverse() || B.isUniverse())
+    return false;
+  // An interval with provably inverted bounds is empty.
+  if (provablyLT(A.Hi, A.Lo, Env) || provablyLT(B.Hi, B.Lo, Env))
+    return true;
+  return provablyLT(A.Hi, B.Lo, Env) || provablyLT(B.Hi, A.Lo, Env);
+}
+
+bool Section::provablyContains(const Section &A, const Section &B,
+                               const RangeEnv &Env) {
+  if (B.isEmpty() || A.isUniverse())
+    return true;
+  if (A.isEmpty() || B.isUniverse())
+    return false;
+  // Vacuous containment of a provably empty B.
+  if (provablyLT(B.Hi, B.Lo, Env))
+    return true;
+  return provablyLE(A.Lo, B.Lo, Env) && provablyLE(B.Hi, A.Hi, Env);
+}
+
+Section Section::unionMay(const Section &A, const Section &B,
+                          const RangeEnv &Env) {
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  if (A.isUniverse() || B.isUniverse())
+    return universe();
+  // Pick the provably smaller lower bound and larger upper bound; if a
+  // direction cannot be ordered the hull is not representable, so widen to
+  // the universal section (sound for MAY).
+  SymExpr Lo, Hi;
+  if (provablyLE(A.Lo, B.Lo, Env))
+    Lo = A.Lo;
+  else if (provablyLE(B.Lo, A.Lo, Env))
+    Lo = B.Lo;
+  else
+    return universe();
+  if (provablyLE(A.Hi, B.Hi, Env))
+    Hi = B.Hi;
+  else if (provablyLE(B.Hi, A.Hi, Env))
+    Hi = A.Hi;
+  else
+    return universe();
+  return interval(Lo, Hi);
+}
+
+Section Section::unionMust(const Section &A, const Section &B,
+                           const RangeEnv &Env) {
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  if (A.isUniverse() || B.isUniverse())
+    return universe();
+  if (provablyContains(A, B, Env))
+    return A;
+  if (provablyContains(B, A, Env))
+    return B;
+  // Exact union when the pieces provably overlap or abut *and* the outer
+  // bounds are provably ordered.
+  bool AThenB = provablyLE(A.Lo, B.Lo, Env) &&
+                provablyLE(B.Lo, A.Hi + 1, Env) &&
+                provablyLE(A.Hi, B.Hi, Env);
+  if (AThenB)
+    return interval(A.Lo, B.Hi);
+  bool BThenA = provablyLE(B.Lo, A.Lo, Env) &&
+                provablyLE(A.Lo, B.Hi + 1, Env) &&
+                provablyLE(B.Hi, A.Hi, Env);
+  if (BThenA)
+    return interval(B.Lo, A.Hi);
+  // Cannot represent the union; either piece alone is a sound MUST result.
+  return A;
+}
+
+Section Section::intersectMust(const Section &A, const Section &B,
+                               const RangeEnv &Env) {
+  if (A.isEmpty() || B.isEmpty())
+    return empty();
+  if (A.isUniverse())
+    return B;
+  if (B.isUniverse())
+    return A;
+  if (provablyContains(A, B, Env))
+    return B;
+  if (provablyContains(B, A, Env))
+    return A;
+  if (provablyDisjoint(A, B, Env))
+    return empty();
+  // Partial overlap with provable bound ordering.
+  if (provablyLE(A.Lo, B.Lo, Env) && provablyLE(B.Lo, A.Hi, Env) &&
+      provablyLE(A.Hi, B.Hi, Env))
+    return interval(B.Lo, A.Hi);
+  if (provablyLE(B.Lo, A.Lo, Env) && provablyLE(A.Lo, B.Hi, Env) &&
+      provablyLE(B.Hi, A.Hi, Env))
+    return interval(A.Lo, B.Hi);
+  return empty(); // Unknown ordering: empty is the sound MUST answer.
+}
+
+Section Section::subtractMay(const Section &Q, const Section &G,
+                             const RangeEnv &Env) {
+  if (Q.isEmpty() || G.isEmpty())
+    return Q;
+  if (G.isUniverse())
+    return empty();
+  if (Q.isUniverse())
+    return Q; // Cannot carve an interval out of the universe representably.
+  if (provablyContains(G, Q, Env))
+    return empty();
+  if (provablyDisjoint(Q, G, Env))
+    return Q;
+  // Trim a covered prefix: G covers [Q.Lo, G.Hi].
+  if (provablyLE(G.Lo, Q.Lo, Env) && provablyLE(Q.Lo, G.Hi, Env)) {
+    if (provablyLT(Q.Hi, G.Hi + 1, Env))
+      return empty();
+    return interval(G.Hi + 1, Q.Hi);
+  }
+  // Trim a covered suffix: G covers [G.Lo, Q.Hi].
+  if (provablyLE(Q.Hi, G.Hi, Env) && provablyLE(G.Lo, Q.Hi, Env)) {
+    if (provablyLT(G.Lo - 1, Q.Lo, Env))
+      return empty();
+    return interval(Q.Lo, G.Lo - 1);
+  }
+  // A middle cut is not representable as one interval; returning Q keeps
+  // every element of the exact difference (over-approximation).
+  return Q;
+}
+
+Section Section::subtractMust(const Section &Q, const Section &G,
+                              const RangeEnv &Env) {
+  if (Q.isEmpty() || G.isEmpty())
+    return Q;
+  if (G.isUniverse())
+    return empty();
+  if (provablyDisjoint(Q, G, Env))
+    return Q;
+  if (Q.isUniverse())
+    return empty(); // Unknown overlap with the universe: give up (MUST).
+  if (provablyContains(G, Q, Env))
+    return empty();
+  // Provable prefix removal: G covers [Q.Lo, G.Hi] with G.Hi < Q.Hi.
+  if (provablyLE(G.Lo, Q.Lo, Env) && provablyLE(Q.Lo, G.Hi, Env) &&
+      provablyLT(G.Hi, Q.Hi, Env))
+    return interval(G.Hi + 1, Q.Hi);
+  // Provable suffix removal.
+  if (provablyLE(Q.Hi, G.Hi, Env) && provablyLE(G.Lo, Q.Hi, Env) &&
+      provablyLT(Q.Lo, G.Lo, Env))
+    return interval(Q.Lo, G.Lo - 1);
+  return empty(); // Unknown relation: empty is the sound MUST answer.
+}
+
+Section Section::aggregateMay(const Section &S, const mf::Symbol *I,
+                              const SymExpr &Lo, const SymExpr &Up,
+                              const RangeEnv &Env) {
+  (void)Env;
+  if (S.isEmpty() || S.isUniverse())
+    return S;
+  SymRange LoSweep = rangeOverVar(S.Lo, I, Lo, Up);
+  SymRange HiSweep = rangeOverVar(S.Hi, I, Lo, Up);
+  if (!LoSweep.Lo.isFinite() || !HiSweep.Hi.isFinite())
+    return universe();
+  return interval(LoSweep.Lo.E, HiSweep.Hi.E);
+}
+
+Section Section::aggregateMust(const Section &S, const mf::Symbol *I,
+                               const SymExpr &Lo, const SymExpr &Up,
+                               const RangeEnv &Env) {
+  if (S.isEmpty())
+    return empty();
+  if (S.isUniverse())
+    return universe();
+  // The loop must provably execute at least once.
+  if (!provablyLE(Lo, Up, Env))
+    return empty();
+
+  int64_t CoeffLo = S.Lo.coeffOfVar(I);
+  int64_t CoeffHi = S.Hi.coeffOfVar(I);
+  SymExpr RestLo = S.Lo - SymExpr::var(I) * CoeffLo;
+  SymExpr RestHi = S.Hi - SymExpr::var(I) * CoeffHi;
+  if (RestLo.references(I) || RestHi.references(I))
+    return empty(); // Nonlinear in the loop index; no MUST statement.
+
+  // Both bounds must move in the same (non-decreasing) direction, and
+  // consecutive per-iteration sections must provably leave no hole:
+  //   S.Lo(i+1) <= S.Hi(i) + 1.
+  if (CoeffLo < 0 || CoeffHi < 0) {
+    // Decreasing sweep: mirror the increasing case.
+    if (CoeffLo > 0 || CoeffHi > 0)
+      return empty();
+    SymExpr LoAtUp = RestLo + Up * CoeffLo;
+    SymExpr HiAtLo = RestHi + Lo * CoeffHi;
+    // Hole check for a decreasing sweep: iteration i+1 sits below iteration
+    // i, so require S.Hi(i+1) >= S.Lo(i) - 1.
+    SymExpr Gap = (RestHi + SymExpr::var(I) * CoeffHi + CoeffHi) -
+                  (RestLo + SymExpr::var(I) * CoeffLo);
+    if (!provablyNonNegative(Gap + 1, Env))
+      return empty();
+    // Each per-iteration section must be provably nonempty.
+    if (!provablyLE(S.Lo, S.Hi, Env))
+      return empty();
+    return interval(LoAtUp, HiAtLo);
+  }
+
+  SymExpr LoAtLo = RestLo + Lo * CoeffLo;
+  SymExpr HiAtUp = RestHi + Up * CoeffHi;
+  // Hole check between iteration i and i+1: Lo(i+1) <= Hi(i) + 1, i.e.
+  // (RestLo + (i+1)*CoeffLo) - (RestHi + i*CoeffHi) <= 1.
+  SymExpr HoleGap = (RestLo + SymExpr::var(I) * CoeffLo + CoeffLo) -
+                    (RestHi + SymExpr::var(I) * CoeffHi);
+  if (!provablyLE(HoleGap, SymExpr::constant(1), Env))
+    return empty();
+  if (!provablyLE(S.Lo, S.Hi, Env))
+    return empty();
+  return interval(LoAtLo, HiAtUp);
+}

@@ -1,0 +1,68 @@
+//===- support/Diagnostics.h - Error reporting for the front end -*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal diagnostics engine. The MF front end is library code, so instead
+/// of printing to stderr it records diagnostics into a DiagnosticEngine that
+/// the client (tool, test, benchmark) inspects afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SUPPORT_DIAGNOSTICS_H
+#define IAA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace iaa {
+
+/// Severity of a recorded diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One recorded diagnostic message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders the diagnostic as "line:col: error: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while parsing or analyzing an MF program.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined by newlines, for test failure messages.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace iaa
+
+#endif // IAA_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,42 @@
+//===- support/SourceLoc.h - Source locations for MF programs ---*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column locations used by the MF front end for diagnostics and by the
+/// analyses to report which statement a result refers to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SUPPORT_SOURCELOC_H
+#define IAA_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace iaa {
+
+/// A 1-based line/column position in an MF source buffer. Line 0 denotes an
+/// unknown (synthesized) location.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace iaa
+
+#endif // IAA_SUPPORT_SOURCELOC_H

@@ -1,0 +1,75 @@
+//===- support/Timer.h - Wall-clock timing utilities ------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers used to reproduce the compile-time measurements of
+/// Table 2 and the execution-time breakdowns of Table 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SUPPORT_TIMER_H
+#define IAA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace iaa {
+
+/// A simple restartable wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates time over multiple start/stop intervals; used to attribute
+/// pipeline time to the array property analysis (Table 2, column five).
+class AccumulatingTimer {
+public:
+  void start() { Current = Timer(); Running = true; }
+
+  void stop() {
+    if (Running)
+      Total += Current.seconds();
+    Running = false;
+  }
+
+  double seconds() const { return Total + (Running ? Current.seconds() : 0); }
+  void clear() { Total = 0; Running = false; }
+
+private:
+  Timer Current;
+  double Total = 0;
+  bool Running = false;
+};
+
+/// RAII helper that accumulates the lifetime of the scope into a timer.
+class TimeRegion {
+public:
+  explicit TimeRegion(AccumulatingTimer &T) : T(T) { T.start(); }
+  ~TimeRegion() { T.stop(); }
+
+  TimeRegion(const TimeRegion &) = delete;
+  TimeRegion &operator=(const TimeRegion &) = delete;
+
+private:
+  AccumulatingTimer &T;
+};
+
+} // namespace iaa
+
+#endif // IAA_SUPPORT_TIMER_H

@@ -1,0 +1,476 @@
+//===- symbolic/SymExpr.cpp - Symbolic integer expressions ---------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/SymExpr.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace iaa;
+using namespace iaa::sym;
+
+//===----------------------------------------------------------------------===//
+// Atom
+//===----------------------------------------------------------------------===//
+
+static const char *nlOpName(NLOp Op) {
+  switch (Op) {
+  case NLOp::Mul:    return "mul";
+  case NLOp::Div:    return "div";
+  case NLOp::Mod:    return "mod";
+  case NLOp::Min:    return "min";
+  case NLOp::Max:    return "max";
+  case NLOp::Opaque: return "opaque";
+  }
+  return "?";
+}
+
+AtomRef Atom::var(const mf::Symbol *S) {
+  assert(S && !S->isArray() && "variable atom must name a scalar");
+  auto A = std::shared_ptr<Atom>(new Atom());
+  A->Kind = AtomKind::Var;
+  A->Sym = S;
+  A->Key = "v:" + S->name() + "#" + std::to_string(S->id());
+  return A;
+}
+
+AtomRef Atom::arrayElem(const mf::Symbol *Array,
+                        std::vector<SymExpr> Subscripts) {
+  assert(Array && Array->isArray() && "array-element atom needs an array");
+  auto A = std::shared_ptr<Atom>(new Atom());
+  A->Kind = AtomKind::ArrayElem;
+  A->Sym = Array;
+  A->Operands = std::move(Subscripts);
+  A->Key = "a:" + Array->name() + "#" + std::to_string(Array->id()) + "[";
+  for (const SymExpr &Sub : A->Operands)
+    A->Key += Sub.key() + ";";
+  A->Key += "]";
+  return A;
+}
+
+AtomRef Atom::nonLinear(NLOp Op, std::vector<SymExpr> Operands) {
+  auto A = std::shared_ptr<Atom>(new Atom());
+  A->Kind = AtomKind::NonLinear;
+  A->Op = Op;
+  A->Operands = std::move(Operands);
+  // Mul/Min/Max are commutative; sort operand keys for a canonical form.
+  if (Op == NLOp::Mul || Op == NLOp::Min || Op == NLOp::Max)
+    std::sort(A->Operands.begin(), A->Operands.end(),
+              [](const SymExpr &X, const SymExpr &Y) {
+                return X.key() < Y.key();
+              });
+  A->Key = std::string("n:") + nlOpName(Op) + "(";
+  for (const SymExpr &Operand : A->Operands)
+    A->Key += Operand.key() + ";";
+  A->Key += ")";
+  return A;
+}
+
+AtomRef Atom::opaque(std::string Tag) {
+  auto A = std::shared_ptr<Atom>(new Atom());
+  A->Kind = AtomKind::NonLinear;
+  A->Op = NLOp::Opaque;
+  A->Tag = std::move(Tag);
+  A->Key = "o:" + A->Tag;
+  return A;
+}
+
+bool Atom::references(const mf::Symbol *S) const {
+  if (Sym == S)
+    return true;
+  for (const SymExpr &Operand : Operands)
+    if (Operand.references(S))
+      return true;
+  return false;
+}
+
+std::string Atom::str() const {
+  switch (Kind) {
+  case AtomKind::Var:
+    return Sym->name();
+  case AtomKind::ArrayElem: {
+    std::string S = Sym->name() + "(";
+    for (unsigned I = 0; I < Operands.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Operands[I].str();
+    }
+    return S + ")";
+  }
+  case AtomKind::NonLinear: {
+    if (Op == NLOp::Opaque)
+      return "<" + Tag + ">";
+    std::string S = std::string(nlOpName(Op)) + "(";
+    for (unsigned I = 0; I < Operands.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Operands[I].str();
+    }
+    return S + ")";
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// SymExpr construction
+//===----------------------------------------------------------------------===//
+
+void SymExpr::addTerm(const AtomRef &A, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  auto [It, Inserted] = Terms.try_emplace(A->key(), A, Coeff);
+  if (!Inserted) {
+    It->second.second += Coeff;
+    if (It->second.second == 0)
+      Terms.erase(It);
+  }
+}
+
+SymExpr SymExpr::constant(int64_t C) {
+  SymExpr E;
+  E.Constant = C;
+  return E;
+}
+
+SymExpr SymExpr::var(const mf::Symbol *S) { return atom(Atom::var(S)); }
+
+SymExpr SymExpr::arrayElem(const mf::Symbol *Array,
+                           std::vector<SymExpr> Subscripts) {
+  return atom(Atom::arrayElem(Array, std::move(Subscripts)));
+}
+
+SymExpr SymExpr::atom(AtomRef A) {
+  SymExpr E;
+  E.addTerm(A, 1);
+  return E;
+}
+
+SymExpr SymExpr::opaque(std::string Tag) {
+  return atom(Atom::opaque(std::move(Tag)));
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+SymExpr SymExpr::operator+(const SymExpr &RHS) const {
+  SymExpr E = *this;
+  E.Constant += RHS.Constant;
+  for (const auto &[Key, Term] : RHS.Terms)
+    E.addTerm(Term.first, Term.second);
+  return E;
+}
+
+SymExpr SymExpr::operator-(const SymExpr &RHS) const {
+  return *this + (-RHS);
+}
+
+SymExpr SymExpr::operator-() const {
+  SymExpr E;
+  E.Constant = -Constant;
+  for (const auto &[Key, Term] : Terms)
+    E.addTerm(Term.first, -Term.second);
+  return E;
+}
+
+SymExpr SymExpr::operator*(int64_t C) const {
+  SymExpr E;
+  if (C == 0)
+    return E;
+  E.Constant = Constant * C;
+  for (const auto &[Key, Term] : Terms)
+    E.addTerm(Term.first, Term.second * C);
+  return E;
+}
+
+SymExpr SymExpr::mul(const SymExpr &A, const SymExpr &B) {
+  if (A.isConstant())
+    return B * A.constValue();
+  if (B.isConstant())
+    return A * B.constValue();
+  return atom(Atom::nonLinear(NLOp::Mul, {A, B}));
+}
+
+SymExpr SymExpr::div(const SymExpr &A, const SymExpr &B) {
+  if (B.isConstant()) {
+    int64_t C = B.constValue();
+    if (C == 1)
+      return A;
+    // Divide exactly when every coefficient (and the constant) is divisible;
+    // integer division does not distribute otherwise.
+    if (C != 0 && A.Constant % C == 0) {
+      bool AllDivisible = true;
+      for (const auto &[Key, Term] : A.Terms)
+        if (Term.second % C != 0) {
+          AllDivisible = false;
+          break;
+        }
+      if (AllDivisible) {
+        SymExpr E;
+        E.Constant = A.Constant / C;
+        for (const auto &[Key, Term] : A.Terms)
+          E.addTerm(Term.first, Term.second / C);
+        return E;
+      }
+    }
+  }
+  if (A.isConstant() && B.isConstant() && B.constValue() != 0)
+    return constant(A.constValue() / B.constValue());
+  return atom(Atom::nonLinear(NLOp::Div, {A, B}));
+}
+
+SymExpr SymExpr::mod(const SymExpr &A, const SymExpr &B) {
+  if (A.isConstant() && B.isConstant() && B.constValue() != 0)
+    return constant(A.constValue() % B.constValue());
+  return atom(Atom::nonLinear(NLOp::Mod, {A, B}));
+}
+
+SymExpr SymExpr::min(const SymExpr &A, const SymExpr &B) {
+  if (A.isConstant() && B.isConstant())
+    return constant(std::min(A.constValue(), B.constValue()));
+  if (A.equals(B))
+    return A;
+  return atom(Atom::nonLinear(NLOp::Min, {A, B}));
+}
+
+SymExpr SymExpr::max(const SymExpr &A, const SymExpr &B) {
+  if (A.isConstant() && B.isConstant())
+    return constant(std::max(A.constValue(), B.constValue()));
+  if (A.equals(B))
+    return A;
+  return atom(Atom::nonLinear(NLOp::Max, {A, B}));
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+int64_t SymExpr::coeffOfVar(const mf::Symbol *S) const {
+  auto It = Terms.find(Atom::var(S)->key());
+  return It == Terms.end() ? 0 : It->second.second;
+}
+
+AtomRef SymExpr::asSingleAtom() const {
+  if (Constant != 0 || Terms.size() != 1)
+    return nullptr;
+  const auto &Term = Terms.begin()->second;
+  return Term.second == 1 ? Term.first : nullptr;
+}
+
+bool SymExpr::references(const mf::Symbol *S) const {
+  for (const auto &[Key, Term] : Terms)
+    if (Term.first->references(S))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+static AtomRef substituteInAtom(const AtomRef &A, const mf::Symbol *S,
+                                const SymExpr &Repl, SymExpr &LinearOut,
+                                bool &BecameLinear);
+
+SymExpr SymExpr::substituteVar(const mf::Symbol *S,
+                               const SymExpr &Repl) const {
+  SymExpr E = constant(Constant);
+  for (const auto &[Key, Term] : Terms) {
+    const auto &[A, Coeff] = Term;
+    if (!A->references(S)) {
+      E.addTerm(A, Coeff);
+      continue;
+    }
+    SymExpr Linear;
+    bool BecameLinear = false;
+    AtomRef NewAtom = substituteInAtom(A, S, Repl, Linear, BecameLinear);
+    if (BecameLinear)
+      E = E + Linear * Coeff;
+    else
+      E.addTerm(NewAtom, Coeff);
+  }
+  return E;
+}
+
+/// Rewrites \p A with S := Repl. If the atom is the variable S itself the
+/// result is the linear expression \p Repl (reported via \p BecameLinear);
+/// otherwise a structurally substituted atom is returned.
+static AtomRef substituteInAtom(const AtomRef &A, const mf::Symbol *S,
+                                const SymExpr &Repl, SymExpr &LinearOut,
+                                bool &BecameLinear) {
+  switch (A->kind()) {
+  case AtomKind::Var:
+    if (A->symbol() == S) {
+      LinearOut = Repl;
+      BecameLinear = true;
+      return nullptr;
+    }
+    return A;
+  case AtomKind::ArrayElem: {
+    std::vector<SymExpr> NewSubs;
+    NewSubs.reserve(A->operands().size());
+    for (const SymExpr &Sub : A->operands())
+      NewSubs.push_back(Sub.substituteVar(S, Repl));
+    return Atom::arrayElem(A->symbol(), std::move(NewSubs));
+  }
+  case AtomKind::NonLinear: {
+    if (A->op() == NLOp::Opaque)
+      return A;
+    std::vector<SymExpr> NewOps;
+    NewOps.reserve(A->operands().size());
+    for (const SymExpr &Operand : A->operands())
+      NewOps.push_back(Operand.substituteVar(S, Repl));
+    // Re-run the smart constructors: substitution may make operands
+    // constant, collapsing the nonlinearity (e.g. i*(i-1) with i:=3).
+    switch (A->op()) {
+    case NLOp::Mul: {
+      SymExpr R = NewOps[0];
+      for (size_t I = 1; I < NewOps.size(); ++I)
+        R = SymExpr::mul(R, NewOps[I]);
+      if (AtomRef Single = R.asSingleAtom())
+        return Single;
+      LinearOut = R;
+      BecameLinear = true;
+      return nullptr;
+    }
+    case NLOp::Div: {
+      SymExpr R = SymExpr::div(NewOps[0], NewOps[1]);
+      if (AtomRef Single = R.asSingleAtom())
+        return Single;
+      LinearOut = R;
+      BecameLinear = true;
+      return nullptr;
+    }
+    case NLOp::Mod: {
+      SymExpr R = SymExpr::mod(NewOps[0], NewOps[1]);
+      if (AtomRef Single = R.asSingleAtom())
+        return Single;
+      LinearOut = R;
+      BecameLinear = true;
+      return nullptr;
+    }
+    case NLOp::Min: {
+      SymExpr R = SymExpr::min(NewOps[0], NewOps[1]);
+      if (AtomRef Single = R.asSingleAtom())
+        return Single;
+      LinearOut = R;
+      BecameLinear = true;
+      return nullptr;
+    }
+    case NLOp::Max: {
+      SymExpr R = SymExpr::max(NewOps[0], NewOps[1]);
+      if (AtomRef Single = R.asSingleAtom())
+        return Single;
+      LinearOut = R;
+      BecameLinear = true;
+      return nullptr;
+    }
+    case NLOp::Opaque:
+      return A;
+    }
+    return A;
+  }
+  }
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string SymExpr::key() const {
+  std::string K = "{" + std::to_string(Constant);
+  for (const auto &[AtomKey, Term] : Terms)
+    K += "|" + std::to_string(Term.second) + "*" + AtomKey;
+  return K + "}";
+}
+
+std::string SymExpr::str() const {
+  if (Terms.empty())
+    return std::to_string(Constant);
+  std::string S;
+  bool First = true;
+  for (const auto &[Key, Term] : Terms) {
+    const auto &[A, Coeff] = Term;
+    if (!First)
+      S += Coeff >= 0 ? " + " : " - ";
+    else if (Coeff < 0)
+      S += "-";
+    int64_t Abs = Coeff < 0 ? -Coeff : Coeff;
+    if (Abs != 1)
+      S += std::to_string(Abs) + "*";
+    S += A->str();
+    First = false;
+  }
+  if (Constant > 0)
+    S += " + " + std::to_string(Constant);
+  else if (Constant < 0)
+    S += " - " + std::to_string(-Constant);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// AST lowering
+//===----------------------------------------------------------------------===//
+
+static std::string freshOpaqueTag(const char *Prefix) {
+  static std::atomic<unsigned> Counter{0};
+  return std::string(Prefix) + "#" + std::to_string(Counter++);
+}
+
+SymExpr SymExpr::fromAst(const mf::Expr *E) {
+  using namespace iaa::mf;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return constant(cast<IntLit>(E)->value());
+  case ExprKind::RealLit:
+    return opaque(freshOpaqueTag("reallit"));
+  case ExprKind::VarRef: {
+    const Symbol *S = cast<VarRef>(E)->symbol();
+    if (S->elementKind() != ScalarKind::Int)
+      return opaque(freshOpaqueTag("realvar"));
+    return var(S);
+  }
+  case ExprKind::ArrayRef: {
+    const auto *AR = cast<ArrayRef>(E);
+    if (AR->array()->elementKind() != ScalarKind::Int)
+      return opaque(freshOpaqueTag("realelem"));
+    std::vector<SymExpr> Subs;
+    Subs.reserve(AR->rank());
+    for (const Expr *Sub : AR->subscripts())
+      Subs.push_back(fromAst(Sub));
+    return arrayElem(AR->array(), std::move(Subs));
+  }
+  case ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    if (UE->op() == UnaryOp::Neg)
+      return -fromAst(UE->operand());
+    return opaque(freshOpaqueTag("logical"));
+  }
+  case ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    if (isComparisonOp(BE->op()) || isLogicalOp(BE->op()))
+      return opaque(freshOpaqueTag("logical"));
+    SymExpr L = fromAst(BE->lhs());
+    SymExpr R = fromAst(BE->rhs());
+    switch (BE->op()) {
+    case BinaryOp::Add: return L + R;
+    case BinaryOp::Sub: return L - R;
+    case BinaryOp::Mul: return mul(L, R);
+    case BinaryOp::Div: return div(L, R);
+    case BinaryOp::Mod: return mod(L, R);
+    case BinaryOp::Min: return min(L, R);
+    case BinaryOp::Max: return max(L, R);
+    default:
+      return opaque(freshOpaqueTag("binop"));
+    }
+  }
+  }
+  return opaque(freshOpaqueTag("expr"));
+}

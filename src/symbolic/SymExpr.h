@@ -1,0 +1,169 @@
+//===- symbolic/SymExpr.h - Symbolic integer expressions --------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic integer expressions, the algebra underlying array sections, the
+/// range test, and the offset-length test. A SymExpr is kept in canonical
+/// *linear form*: an integer constant plus an integer-weighted sum of
+/// *atoms*. Atoms are scalar symbols (`n`), symbolic array elements
+/// (`pptr(i)`) — these are how index arrays enter the algebra, Sec. 3.2.7:
+/// "the index arrays can be treated as symbolic terms in the range
+/// computation" — and opaque nonlinear nodes (`i*(i-1)`, `q/2`, `min(a,b)`).
+///
+/// Linear forms make the common proof obligation — "is b - a provably
+/// non-negative?" — a small interval-evaluation problem (see RangeEnv).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SYMBOLIC_SYMEXPR_H
+#define IAA_SYMBOLIC_SYMEXPR_H
+
+#include "mf/Expr.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace sym {
+
+class SymExpr;
+
+/// Discriminator for atoms.
+enum class AtomKind { Var, ArrayElem, NonLinear };
+
+/// Operators of nonlinear atoms.
+enum class NLOp { Mul, Div, Mod, Min, Max, Opaque };
+
+/// An indivisible symbolic term. Atoms are immutable and shared; two atoms
+/// are interchangeable iff their canonical keys are equal.
+class Atom {
+public:
+  /// Scalar variable atom.
+  static std::shared_ptr<const Atom> var(const mf::Symbol *S);
+  /// Symbolic array element a(sub1[, sub2]).
+  static std::shared_ptr<const Atom>
+  arrayElem(const mf::Symbol *Array, std::vector<SymExpr> Subscripts);
+  /// Nonlinear node op(operands...).
+  static std::shared_ptr<const Atom> nonLinear(NLOp Op,
+                                               std::vector<SymExpr> Operands);
+  /// An unanalyzable value with a distinguishing tag. Two opaque atoms with
+  /// the same tag are assumed equal; use unique tags for unknown values.
+  static std::shared_ptr<const Atom> opaque(std::string Tag);
+
+  AtomKind kind() const { return Kind; }
+  NLOp op() const { return Op; }
+  const mf::Symbol *symbol() const { return Sym; }
+  const std::vector<SymExpr> &operands() const { return Operands; }
+  const std::string &key() const { return Key; }
+  const std::string &tag() const { return Tag; }
+
+  /// True if this atom (transitively) mentions \p S.
+  bool references(const mf::Symbol *S) const;
+
+  std::string str() const;
+
+private:
+  Atom() = default;
+
+  AtomKind Kind = AtomKind::Var;
+  NLOp Op = NLOp::Opaque;
+  const mf::Symbol *Sym = nullptr;
+  std::vector<SymExpr> Operands; ///< Subscripts (ArrayElem) or operands.
+  std::string Tag;
+  std::string Key;
+};
+
+using AtomRef = std::shared_ptr<const Atom>;
+
+/// A symbolic integer expression in canonical linear form:
+///   Constant + sum(Coeff_k * Atom_k).
+///
+/// SymExpr has value semantics; all operations return new expressions.
+class SymExpr {
+public:
+  /// The zero expression.
+  SymExpr() = default;
+
+  static SymExpr constant(int64_t C);
+  static SymExpr var(const mf::Symbol *S);
+  static SymExpr arrayElem(const mf::Symbol *Array,
+                           std::vector<SymExpr> Subscripts);
+  static SymExpr atom(AtomRef A);
+  /// A fresh unanalyzable value.
+  static SymExpr opaque(std::string Tag);
+
+  /// Lowers an MF AST expression into symbolic form. Real-typed and logical
+  /// subtrees become opaque atoms (they never appear in subscripts we care
+  /// about); integer arithmetic is folded into the linear form.
+  static SymExpr fromAst(const mf::Expr *E);
+
+  bool isZero() const { return Terms.empty() && Constant == 0; }
+  bool isConstant() const { return Terms.empty(); }
+  int64_t constValue() const { return Constant; }
+
+  /// The constant part of the linear form.
+  int64_t constantTerm() const { return Constant; }
+
+  /// The atom terms of the linear form, keyed by canonical atom key.
+  const std::map<std::string, std::pair<AtomRef, int64_t>> &terms() const {
+    return Terms;
+  }
+
+  /// Coefficient of the scalar-variable atom for \p S (0 if absent).
+  int64_t coeffOfVar(const mf::Symbol *S) const;
+
+  /// True when this expression is a single atom with coefficient 1 and no
+  /// constant; returns the atom, else null.
+  AtomRef asSingleAtom() const;
+
+  /// True if any atom (transitively) mentions \p S.
+  bool references(const mf::Symbol *S) const;
+
+  /// \name Arithmetic
+  /// @{
+  SymExpr operator+(const SymExpr &RHS) const;
+  SymExpr operator-(const SymExpr &RHS) const;
+  SymExpr operator-() const;
+  SymExpr operator*(int64_t C) const;
+  SymExpr operator+(int64_t C) const { return *this + constant(C); }
+  SymExpr operator-(int64_t C) const { return *this - constant(C); }
+
+  static SymExpr mul(const SymExpr &A, const SymExpr &B);
+  static SymExpr div(const SymExpr &A, const SymExpr &B);
+  static SymExpr mod(const SymExpr &A, const SymExpr &B);
+  static SymExpr min(const SymExpr &A, const SymExpr &B);
+  static SymExpr max(const SymExpr &A, const SymExpr &B);
+  /// @}
+
+  /// Replaces every occurrence of scalar variable \p S (including inside
+  /// array subscripts and nonlinear atoms) with \p Repl.
+  SymExpr substituteVar(const mf::Symbol *S, const SymExpr &Repl) const;
+
+  /// Structural equality (canonical forms compared termwise).
+  bool equals(const SymExpr &RHS) const { return (*this - RHS).isZero(); }
+
+  /// A canonical text key; equal expressions have equal keys.
+  std::string key() const;
+
+  /// Human-readable rendering.
+  std::string str() const;
+
+private:
+  void addTerm(const AtomRef &A, int64_t Coeff);
+
+  int64_t Constant = 0;
+  std::map<std::string, std::pair<AtomRef, int64_t>> Terms;
+};
+
+} // namespace sym
+} // namespace iaa
+
+#endif // IAA_SYMBOLIC_SYMEXPR_H

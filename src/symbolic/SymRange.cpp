@@ -1,0 +1,316 @@
+//===- symbolic/SymRange.cpp - Symbolic ranges and the prover ------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/SymRange.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace iaa;
+using namespace iaa::sym;
+
+std::string SymBound::str() const {
+  switch (K) {
+  case Kind::NegInf:
+    return "-inf";
+  case Kind::PosInf:
+    return "+inf";
+  case Kind::Finite:
+    return E.str();
+  }
+  return "?";
+}
+
+std::string SymRange::str() const {
+  return "[" + Lo.str() + " : " + Hi.str() + "]";
+}
+
+std::string ConstRange::str() const {
+  std::string S = "[";
+  S += Lo ? std::to_string(*Lo) : "-inf";
+  S += " : ";
+  S += Hi ? std::to_string(*Hi) : "+inf";
+  return S + "]";
+}
+
+const SymRange *RangeEnv::lookupAtom(const std::string &Key) const {
+  auto It = AtomRanges.find(Key);
+  return It == AtomRanges.end() ? nullptr : &It->second;
+}
+
+const SymRange *RangeEnv::lookupArrayValues(const mf::Symbol *A) const {
+  auto It = ArrayValueRanges.find(A->id());
+  return It == ArrayValueRanges.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Interval evaluation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Saturating helpers; nullopt = unbounded.
+using OptInt = std::optional<int64_t>;
+
+OptInt addOpt(OptInt A, OptInt B) {
+  if (!A || !B)
+    return std::nullopt;
+  return *A + *B;
+}
+
+OptInt mulOpt(OptInt A, int64_t C) {
+  if (!A)
+    return std::nullopt;
+  return *A * C;
+}
+
+ConstRange scaleRange(const ConstRange &R, int64_t C) {
+  if (C == 0)
+    return ConstRange::point(0);
+  if (C > 0)
+    return {mulOpt(R.Lo, C), mulOpt(R.Hi, C)};
+  return {mulOpt(R.Hi, C), mulOpt(R.Lo, C)};
+}
+
+ConstRange addRange(const ConstRange &A, const ConstRange &B) {
+  return {addOpt(A.Lo, B.Lo), addOpt(A.Hi, B.Hi)};
+}
+
+ConstRange mulRanges(const ConstRange &A, const ConstRange &B) {
+  // Unbounded on any side makes products unbounded unless the other factor
+  // is the constant zero; keep it simple and conservative.
+  if (!A.Lo || !A.Hi || !B.Lo || !B.Hi)
+    return ConstRange::unbounded();
+  int64_t Products[4] = {*A.Lo * *B.Lo, *A.Lo * *B.Hi, *A.Hi * *B.Lo,
+                         *A.Hi * *B.Hi};
+  return {*std::min_element(Products, Products + 4),
+          *std::max_element(Products, Products + 4)};
+}
+
+/// Floor division that rounds toward negative infinity.
+int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+} // namespace
+
+static ConstRange rangeOfBound(const SymBound &B, bool IsLower,
+                               const RangeEnv &Env, unsigned Depth) {
+  if (!B.isFinite())
+    return ConstRange::unbounded();
+  ConstRange R = evalConstRange(B.E, Env, Depth);
+  // A lower bound only contributes its own lower bound (the value is >= E,
+  // and E >= R.Lo); symmetrically for upper bounds.
+  return IsLower ? ConstRange{R.Lo, std::nullopt}
+                 : ConstRange{std::nullopt, R.Hi};
+}
+
+static ConstRange rangeOfSymRange(const SymRange &R, const RangeEnv &Env,
+                                  unsigned Depth) {
+  ConstRange LoPart = rangeOfBound(R.Lo, /*IsLower=*/true, Env, Depth);
+  ConstRange HiPart = rangeOfBound(R.Hi, /*IsLower=*/false, Env, Depth);
+  return {LoPart.Lo, HiPart.Hi};
+}
+
+static ConstRange rangeOfAtom(const AtomRef &A, const RangeEnv &Env,
+                              unsigned Depth) {
+  if (Depth == 0)
+    return ConstRange::unbounded();
+
+  if (const SymRange *R = Env.lookupAtom(A->key()))
+    return rangeOfSymRange(*R, Env, Depth - 1);
+
+  if (A->kind() == AtomKind::ArrayElem)
+    if (const SymRange *R = Env.lookupArrayValues(A->symbol()))
+      return rangeOfSymRange(*R, Env, Depth - 1);
+
+  if (A->kind() != AtomKind::NonLinear)
+    return ConstRange::unbounded();
+
+  switch (A->op()) {
+  case NLOp::Mul: {
+    ConstRange R = ConstRange::point(1);
+    for (const SymExpr &Operand : A->operands())
+      R = mulRanges(R, evalConstRange(Operand, Env, Depth - 1));
+    return R;
+  }
+  case NLOp::Div: {
+    ConstRange Num = evalConstRange(A->operands()[0], Env, Depth - 1);
+    ConstRange Den = evalConstRange(A->operands()[1], Env, Depth - 1);
+    // Only handle a strictly positive denominator; anything else stays
+    // unbounded (division through zero has no useful interval).
+    if (!Den.Lo || *Den.Lo < 1)
+      return ConstRange::unbounded();
+    // MF division truncates toward zero, so for d > 0:
+    //   floor(v/d) <= trunc(v/d) <= max(trunc over d), and for v < 0 the
+    //   quotient *increases* toward 0 as d grows.
+    OptInt Lo, Hi;
+    if (Num.Lo)
+      Lo = *Num.Lo >= 0 ? floorDiv(*Num.Lo, Den.Hi.value_or(*Den.Lo))
+                        : floorDiv(*Num.Lo, *Den.Lo);
+    if (Num.Hi) {
+      if (*Num.Hi >= 0)
+        Hi = floorDiv(*Num.Hi, *Den.Lo); // trunc == floor for v >= 0.
+      else if (Den.Hi)
+        Hi = *Num.Hi / *Den.Hi; // Truncating; largest d maximizes it.
+      else
+        Hi = 0; // v < 0, unbounded d: the quotient approaches 0 from below.
+    }
+    return {Lo, Hi};
+  }
+  case NLOp::Mod: {
+    ConstRange Den = evalConstRange(A->operands()[1], Env, Depth - 1);
+    if (!Den.Hi || *Den.Hi < 1 || !Den.Lo || *Den.Lo < 1)
+      return ConstRange::unbounded();
+    ConstRange Num = evalConstRange(A->operands()[0], Env, Depth - 1);
+    // Fortran MOD has the sign of the numerator.
+    if (Num.Lo && *Num.Lo >= 0)
+      return {int64_t(0), *Den.Hi - 1};
+    return {-(*Den.Hi - 1), *Den.Hi - 1};
+  }
+  case NLOp::Min: {
+    ConstRange R0 = evalConstRange(A->operands()[0], Env, Depth - 1);
+    ConstRange R1 = evalConstRange(A->operands()[1], Env, Depth - 1);
+    OptInt Lo = (R0.Lo && R1.Lo) ? OptInt(std::min(*R0.Lo, *R1.Lo))
+                                 : std::nullopt;
+    OptInt Hi;
+    if (R0.Hi && R1.Hi)
+      Hi = std::min(*R0.Hi, *R1.Hi);
+    else if (R0.Hi)
+      Hi = R0.Hi;
+    else
+      Hi = R1.Hi;
+    return {Lo, Hi};
+  }
+  case NLOp::Max: {
+    ConstRange R0 = evalConstRange(A->operands()[0], Env, Depth - 1);
+    ConstRange R1 = evalConstRange(A->operands()[1], Env, Depth - 1);
+    OptInt Hi = (R0.Hi && R1.Hi) ? OptInt(std::max(*R0.Hi, *R1.Hi))
+                                 : std::nullopt;
+    OptInt Lo;
+    if (R0.Lo && R1.Lo)
+      Lo = std::max(*R0.Lo, *R1.Lo);
+    else if (R0.Lo)
+      Lo = R0.Lo;
+    else
+      Lo = R1.Lo;
+    return {Lo, Hi};
+  }
+  case NLOp::Opaque:
+    return ConstRange::unbounded();
+  }
+  return ConstRange::unbounded();
+}
+
+ConstRange iaa::sym::evalConstRange(const SymExpr &E, const RangeEnv &Env,
+                                    unsigned Depth) {
+  ConstRange R = ConstRange::point(E.constantTerm());
+  for (const auto &[Key, Term] : E.terms()) {
+    const auto &[A, Coeff] = Term;
+    R = addRange(R, scaleRange(rangeOfAtom(A, Env, Depth), Coeff));
+    if (!R.Lo && !R.Hi)
+      return R;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Proofs
+//===----------------------------------------------------------------------===//
+
+/// Symbolic bound substitution: replaces every atom that has a finite bound
+/// of the right polarity in \p Env with that bound *expression*. Unlike pure
+/// interval evaluation this preserves correlations — `n + 1 - i` with
+/// i <= n substitutes to `n + 1 - n = 1`. The result is a valid lower
+/// (upper) bound of \p E when \p Lower is true (false).
+static SymExpr boundSubstitute(const SymExpr &E, const RangeEnv &Env,
+                               bool Lower, unsigned Depth) {
+  if (Depth == 0)
+    return E;
+  SymExpr Out = SymExpr::constant(E.constantTerm());
+  bool Changed = false;
+  for (const auto &[Key, Term] : E.terms()) {
+    const auto &[A, Coeff] = Term;
+    const SymRange *R = Env.lookupAtom(A->key());
+    if (!R && A->kind() == AtomKind::ArrayElem)
+      R = Env.lookupArrayValues(A->symbol());
+    bool WantLower = (Coeff > 0) == Lower;
+    if (R) {
+      const SymBound &B = WantLower ? R->Lo : R->Hi;
+      if (B.isFinite()) {
+        Out = Out + B.E * Coeff;
+        Changed = true;
+        continue;
+      }
+    }
+    Out = Out + SymExpr::atom(A) * Coeff;
+  }
+  if (Changed)
+    return boundSubstitute(Out, Env, Lower, Depth - 1);
+  return Out;
+}
+
+/// A sound constant lower bound of \p E, if one can be established.
+static std::optional<int64_t> constLowerBound(const SymExpr &E,
+                                              const RangeEnv &Env) {
+  SymExpr L = boundSubstitute(E, Env, /*Lower=*/true, 4);
+  if (L.isConstant())
+    return L.constValue();
+  // The substituted form may still contain bounded nonlinear atoms (mod,
+  // min, ...): fall back to interval evaluation on both forms.
+  ConstRange R = evalConstRange(L, Env);
+  if (R.Lo)
+    return R.Lo;
+  R = evalConstRange(E, Env);
+  return R.Lo;
+}
+
+bool iaa::sym::provablyNonNegative(const SymExpr &E, const RangeEnv &Env) {
+  std::optional<int64_t> Lo = constLowerBound(E, Env);
+  return Lo && *Lo >= 0;
+}
+
+bool iaa::sym::provablyPositive(const SymExpr &E, const RangeEnv &Env) {
+  std::optional<int64_t> Lo = constLowerBound(E, Env);
+  return Lo && *Lo >= 1;
+}
+
+bool iaa::sym::provablyLE(const SymExpr &A, const SymExpr &B,
+                          const RangeEnv &Env) {
+  return provablyNonNegative(B - A, Env);
+}
+
+bool iaa::sym::provablyLT(const SymExpr &A, const SymExpr &B,
+                          const RangeEnv &Env) {
+  return provablyPositive(B - A, Env);
+}
+
+//===----------------------------------------------------------------------===//
+// Sweeps
+//===----------------------------------------------------------------------===//
+
+SymRange iaa::sym::rangeOverVar(const SymExpr &E, const mf::Symbol *I,
+                                const SymExpr &Lo, const SymExpr &Hi) {
+  int64_t Coeff = E.coeffOfVar(I);
+  SymExpr Rest = E - SymExpr::var(I) * Coeff;
+  if (Rest.references(I))
+    return SymRange::all(); // I occurs nonlinearly or inside another atom.
+  if (Coeff == 0)
+    return SymRange::point(E);
+  if (Coeff > 0)
+    return SymRange::of(Rest + Lo * Coeff, Rest + Hi * Coeff);
+  return SymRange::of(Rest + Hi * Coeff, Rest + Lo * Coeff);
+}
+
+const mf::Symbol *iaa::sym::placeholderSymbol() {
+  static const mf::Symbol Placeholder("$pos", mf::ScalarKind::Int, {},
+                                      0x7fffffff);
+  return &Placeholder;
+}

@@ -1,0 +1,138 @@
+//===- symbolic/SymRange.h - Symbolic ranges and the prover -----*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic value ranges, range environments, and the small prover used by
+/// the range test (Blume & Eigenmann) and the offset-length test
+/// (Sec. 3.2.7). A RangeEnv carries facts such as "loop index i is in
+/// [1, n]" or "every element of iblen() is in [1, m]"; proofs reduce a
+/// query like `a <= b` to interval-evaluating `b - a` down to constant
+/// bounds and checking the sign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SYMBOLIC_SYMRANGE_H
+#define IAA_SYMBOLIC_SYMRANGE_H
+
+#include "symbolic/SymExpr.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace iaa {
+namespace sym {
+
+/// One end of a symbolic range: -inf, +inf, or a finite symbolic expression.
+struct SymBound {
+  enum class Kind { NegInf, Finite, PosInf };
+
+  Kind K = Kind::NegInf;
+  SymExpr E;
+
+  static SymBound negInf() { return {Kind::NegInf, {}}; }
+  static SymBound posInf() { return {Kind::PosInf, {}}; }
+  static SymBound finite(SymExpr Expr) {
+    return {Kind::Finite, std::move(Expr)};
+  }
+
+  bool isFinite() const { return K == Kind::Finite; }
+  std::string str() const;
+};
+
+/// An inclusive symbolic interval [Lo, Hi].
+struct SymRange {
+  SymBound Lo = SymBound::negInf();
+  SymBound Hi = SymBound::posInf();
+
+  static SymRange all() { return {}; }
+  static SymRange point(SymExpr E) {
+    return {SymBound::finite(E), SymBound::finite(std::move(E))};
+  }
+  static SymRange of(SymExpr Lo, SymExpr Hi) {
+    return {SymBound::finite(std::move(Lo)), SymBound::finite(std::move(Hi))};
+  }
+  static SymRange atLeast(SymExpr Lo) {
+    return {SymBound::finite(std::move(Lo)), SymBound::posInf()};
+  }
+  static SymRange atMost(SymExpr Hi) {
+    return {SymBound::negInf(), SymBound::finite(std::move(Hi))};
+  }
+
+  bool isUnbounded() const { return !Lo.isFinite() && !Hi.isFinite(); }
+  std::string str() const;
+};
+
+/// Constant bounds produced by interval evaluation; nullopt means unbounded
+/// in that direction.
+struct ConstRange {
+  std::optional<int64_t> Lo;
+  std::optional<int64_t> Hi;
+
+  static ConstRange unbounded() { return {}; }
+  static ConstRange point(int64_t V) { return {V, V}; }
+
+  std::string str() const;
+};
+
+/// A set of range facts about atoms: loop-index bounds, verified index-array
+/// bounds (from the CFB property), and whole-array bounds.
+class RangeEnv {
+public:
+  /// Binds the exact atom \p A to \p R (e.g. the loop index `i`).
+  void bind(const AtomRef &A, SymRange R) { AtomRanges[A->key()] = std::move(R); }
+
+  /// Binds the scalar variable \p S to \p R.
+  void bindVar(const mf::Symbol *S, SymRange R) {
+    bind(Atom::var(S), std::move(R));
+  }
+
+  /// Declares that *every* element of array \p A lies in \p R. Used when the
+  /// array property analysis has verified a closed-form bound (CFB).
+  void bindArrayValues(const mf::Symbol *A, SymRange R) {
+    ArrayValueRanges[A->id()] = std::move(R);
+  }
+
+  const SymRange *lookupAtom(const std::string &Key) const;
+  const SymRange *lookupArrayValues(const mf::Symbol *A) const;
+
+private:
+  std::map<std::string, SymRange> AtomRanges;
+  std::map<unsigned, SymRange> ArrayValueRanges;
+};
+
+/// Interval-evaluates \p E down to constant bounds under \p Env. \p Depth
+/// bounds recursion through symbolic bound expressions.
+ConstRange evalConstRange(const SymExpr &E, const RangeEnv &Env,
+                          unsigned Depth = 5);
+
+/// \name Proof helpers (all sound: false means "could not prove").
+/// @{
+bool provablyNonNegative(const SymExpr &E, const RangeEnv &Env);
+/// E >= 1.
+bool provablyPositive(const SymExpr &E, const RangeEnv &Env);
+/// A <= B.
+bool provablyLE(const SymExpr &A, const SymExpr &B, const RangeEnv &Env);
+/// A < B.
+bool provablyLT(const SymExpr &A, const SymExpr &B, const RangeEnv &Env);
+/// @}
+
+/// The range of values \p E takes as the scalar \p I sweeps [Lo, Hi], with
+/// all other atoms held fixed. Exact when E is affine in I (I appearing only
+/// as a top-level variable atom); SymRange::all() otherwise.
+SymRange rangeOverVar(const SymExpr &E, const mf::Symbol *I, const SymExpr &Lo,
+                      const SymExpr &Hi);
+
+/// A process-wide placeholder symbol ("$pos") used to express discovered
+/// per-position properties such as "the distance of x() at position $pos is
+/// iblen($pos)".
+const mf::Symbol *placeholderSymbol();
+
+} // namespace sym
+} // namespace iaa
+
+#endif // IAA_SYMBOLIC_SYMRANGE_H

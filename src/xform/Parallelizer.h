@@ -1,0 +1,108 @@
+//===- xform/Parallelizer.h - The Polaris-style pipeline --------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-compiler driver, phase-ordered as Fig. 15(b): normalization,
+/// induction variable substitution, constant propagation, forward
+/// substitution, dead code elimination for every program unit; then
+/// privatization, reduction recognition, and the dependence tests. Three
+/// configurations reproduce the experimental setups of Fig. 16:
+///
+///  - Full:  Polaris with irregular array access analysis (the paper);
+///  - NoIAA: Polaris without the new analyses (classical symbolic tests);
+///  - Apo:   a vendor-style auto-parallelizer (affine tests only, no
+///           reductions, no array privatization).
+///
+/// The output is a per-loop report (feeding Tables 2/3) and a parallel
+/// execution plan consumed by the interpreter (feeding Fig. 16).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_XFORM_PARALLELIZER_H
+#define IAA_XFORM_PARALLELIZER_H
+
+#include "deptest/DependenceTest.h"
+#include "mf/Program.h"
+#include "xform/Privatization.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace xform {
+
+/// Pipeline configuration (the three curves of Fig. 16).
+enum class PipelineMode { Full, NoIAA, Apo };
+
+const char *pipelineModeName(PipelineMode M);
+
+/// The execution plan for one parallel loop, consumed by the interpreter.
+struct LoopPlan {
+  const mf::DoStmt *Loop = nullptr;
+  bool Parallel = false;
+  /// Arrays given per-thread copies.
+  std::set<const mf::Symbol *> PrivateArrays;
+  /// Scalars given per-thread copies (everything written in the body that
+  /// is not a reduction).
+  std::set<const mf::Symbol *> PrivateScalars;
+  /// Scalar sum reductions merged after the loop.
+  std::set<const mf::Symbol *> Reductions;
+};
+
+/// Analysis record for one loop (feeds Table 3).
+struct LoopReport {
+  const mf::DoStmt *Loop = nullptr;
+  std::string Label;
+  bool Parallel = false;
+  std::string WhyNot;
+  std::vector<deptest::ArrayDepOutcome> DepOutcomes;
+  std::vector<ArrayPrivOutcome> PrivOutcomes;
+  std::set<const mf::Symbol *> Reductions;
+  unsigned PropertyQueries = 0;
+};
+
+/// Whole-pipeline result (feeds Table 2 and the interpreter).
+struct PipelineResult {
+  std::vector<LoopReport> Loops;
+  std::map<const mf::DoStmt *, LoopPlan> Plans;
+  /// Wall-clock seconds of the whole pipeline run.
+  double TotalSeconds = 0;
+  /// Seconds spent inside the array property analysis (Table 2, col. 5).
+  double PropertySeconds = 0;
+  unsigned ConstantsPropagated = 0;
+  unsigned ForwardSubstitutions = 0;
+  unsigned DeadRemoved = 0;
+  unsigned InductionsSubstituted = 0;
+
+  /// The plan for \p L (null when the loop is serial).
+  const LoopPlan *planFor(const mf::DoStmt *L) const {
+    auto It = Plans.find(L);
+    return It == Plans.end() || !It->second.Parallel ? nullptr : &It->second;
+  }
+
+  /// The report for the loop labeled \p Label, or null.
+  const LoopReport *reportFor(const std::string &Label) const {
+    for (const LoopReport &R : Loops)
+      if (R.Label == Label)
+        return &R;
+    return nullptr;
+  }
+
+  /// A human-readable summary of every analyzed loop.
+  std::string str() const;
+};
+
+/// Runs the full pipeline over \p P (mutates it: normalization passes are
+/// source-to-source). The program must already be parsed and error-free.
+PipelineResult parallelize(mf::Program &P, PipelineMode Mode);
+
+} // namespace xform
+} // namespace iaa
+
+#endif // IAA_XFORM_PARALLELIZER_H

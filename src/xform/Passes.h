@@ -1,0 +1,58 @@
+//===- xform/Passes.h - Polaris-style normalization passes ------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normalization phases that run before the analyses, in the order of
+/// Fig. 15(b): program normalization, induction variable substitution,
+/// constant propagation, forward substitution, and dead code elimination.
+/// Each returns the number of changes it made so the pipeline can report
+/// per-phase work (and the tests can pin behavior).
+///
+/// All passes are semantics-preserving source-to-source rewrites of the MF
+/// AST; the interpreter executes the transformed program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_XFORM_PASSES_H
+#define IAA_XFORM_PASSES_H
+
+#include "mf/Program.h"
+#include "support/Diagnostics.h"
+
+namespace iaa {
+namespace xform {
+
+/// Checks normalization preconditions (do steps constant, call targets
+/// resolved) and reports violations. Returns true when the program is
+/// analyzable.
+bool normalizeProgram(mf::Program &P, DiagnosticEngine &Diags);
+
+/// Replaces reads of whole-program constants (scalars assigned exactly once
+/// with a constant) by integer literals. The defining assignments stay.
+unsigned propagateConstants(mf::Program &P);
+
+/// Forward substitution: after `t = e` (t an integer scalar), replaces
+/// subsequent reads of t by e while neither t nor anything e depends on is
+/// redefined. This is what exposes `z(k, jj)` with `jj = ind(j)` as the
+/// indirect access `z(k, ind(j))` to the dependence tests (Sec. 5.1).
+unsigned forwardSubstitute(mf::Program &P);
+
+/// Removes assignments to scalars that are never read anywhere (typically
+/// temporaries made dead by forward substitution).
+unsigned eliminateDeadCode(mf::Program &P);
+
+/// Minimal induction variable substitution: when a do-loop body *starts*
+/// with the only definition of p in the loop, `p = p + c`, and a constant
+/// assignment `p = c0` immediately precedes the loop, reads of p inside the
+/// body are rewritten to `c0 + c*(i - lo + 1)`. The increment itself stays
+/// (p remains correct after the loop).
+unsigned substituteInductions(mf::Program &P);
+
+} // namespace xform
+} // namespace iaa
+
+#endif // IAA_XFORM_PASSES_H

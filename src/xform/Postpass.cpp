@@ -1,0 +1,112 @@
+//===- xform/Postpass.cpp - Annotated parallel source emission ------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Postpass.h"
+
+#include <algorithm>
+
+using namespace iaa;
+using namespace iaa::mf;
+using namespace iaa::xform;
+
+namespace {
+
+/// Emits one statement list at the given indent, inserting directives in
+/// front of parallel do loops.
+void emitBody(const StmtList &Body, const PipelineResult &Result,
+              unsigned Indent, std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  for (const Stmt *S : Body) {
+    if (const auto *DS = dyn_cast<DoStmt>(S)) {
+      if (const LoopPlan *Plan = Result.planFor(DS)) {
+        // Deterministic clause ordering: sort names.
+        std::vector<std::string> Priv;
+        for (const Symbol *Sym : Plan->PrivateScalars)
+          Priv.push_back(Sym->name());
+        for (const Symbol *Sym : Plan->PrivateArrays)
+          Priv.push_back(Sym->name());
+        std::sort(Priv.begin(), Priv.end());
+        std::vector<std::string> Red;
+        for (const Symbol *Sym : Plan->Reductions)
+          Red.push_back(Sym->name());
+        std::sort(Red.begin(), Red.end());
+
+        Out += Pad + "!$iaa parallel do";
+        if (!Priv.empty()) {
+          Out += " private(";
+          for (size_t I = 0; I < Priv.size(); ++I)
+            Out += (I ? ", " : "") + Priv[I];
+          Out += ")";
+        }
+        for (const std::string &R : Red)
+          Out += " reduction(+:" + R + ")";
+        Out += "\n";
+      }
+      Out += Pad;
+      if (!DS->label().empty())
+        Out += DS->label() + ": ";
+      Out += "do " + DS->indexVar()->name() + " = " + DS->lower()->str() +
+             ", " + DS->upper()->str();
+      if (DS->step())
+        Out += ", " + DS->step()->str();
+      Out += "\n";
+      emitBody(DS->body(), Result, Indent + 1, Out);
+      Out += Pad + "end do\n";
+      continue;
+    }
+    if (const auto *IS = dyn_cast<IfStmt>(S)) {
+      Out += Pad + "if (" + IS->condition()->str() + ") then\n";
+      emitBody(IS->thenBody(), Result, Indent + 1, Out);
+      if (!IS->elseBody().empty()) {
+        Out += Pad + "else\n";
+        emitBody(IS->elseBody(), Result, Indent + 1, Out);
+      }
+      Out += Pad + "end if\n";
+      continue;
+    }
+    if (const auto *WS = dyn_cast<WhileStmt>(S)) {
+      Out += Pad + "while (" + WS->condition()->str() + ")\n";
+      emitBody(WS->body(), Result, Indent + 1, Out);
+      Out += Pad + "end while\n";
+      continue;
+    }
+    Out += S->str(Indent);
+  }
+}
+
+} // namespace
+
+std::string xform::emitAnnotatedSource(const Program &P,
+                                       const PipelineResult &Result) {
+  std::string Out = "program p\n";
+  for (const Symbol *Sym : P.symbols()) {
+    Out += Sym->elementKind() == ScalarKind::Int ? "  integer "
+                                                 : "  real ";
+    Out += Sym->name();
+    if (Sym->isArray()) {
+      Out += "(";
+      for (unsigned D = 0; D < Sym->rank(); ++D) {
+        if (D)
+          Out += ", ";
+        Out += Sym->extent(D)->str();
+      }
+      Out += ")";
+    }
+    Out += "\n";
+  }
+  for (const Procedure *Proc : P.procedures()) {
+    if (Proc->name() == "main")
+      continue;
+    Out += "  procedure " + Proc->name() + "\n";
+    emitBody(Proc->body(), Result, 2, Out);
+    Out += "  end\n";
+  }
+  if (const Procedure *Main = P.mainProcedure())
+    emitBody(Main->body(), Result, 1, Out);
+  Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- xform/Postpass.h - Annotated parallel source emission ----*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "postpass" of the Polaris phase list (Fig. 15): Polaris emitted
+/// transformed Fortran with parallel directives for the native back-end
+/// compiler. This postpass renders the analyzed MF program with
+/// OpenMP-style directive comments in front of every loop the pipeline
+/// parallelized:
+///
+/// \code
+///   !$iaa parallel do private(x, p) reduction(+:s)
+///   dok: do k = 1, n
+/// \endcode
+///
+/// The output re-parses as a valid MF program (directives are comments), so
+/// it can feed any MF consumer; the directives document exactly the plan
+/// the interpreter executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_XFORM_POSTPASS_H
+#define IAA_XFORM_POSTPASS_H
+
+#include "xform/Parallelizer.h"
+
+#include <string>
+
+namespace iaa {
+namespace xform {
+
+/// Renders \p P as MF source with `!$iaa parallel do` directives for every
+/// loop whose plan in \p Result is parallel.
+std::string emitAnnotatedSource(const mf::Program &P,
+                                const PipelineResult &Result);
+
+} // namespace xform
+} // namespace iaa
+
+#endif // IAA_XFORM_POSTPASS_H

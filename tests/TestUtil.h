@@ -1,0 +1,42 @@
+//===- tests/TestUtil.h - Shared helpers for the test suite -----*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_TESTS_TESTUTIL_H
+#define IAA_TESTS_TESTUTIL_H
+
+#include "mf/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace iaa {
+namespace test {
+
+/// Parses \p Source and fails the test on any diagnostic.
+inline std::unique_ptr<mf::Program> parseOrDie(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_NE(P, nullptr);
+  return P;
+}
+
+/// Parses \p Source expecting at least one error; returns the diagnostics.
+inline DiagnosticEngine parseExpectingErrors(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(P, nullptr);
+  return Diags;
+}
+
+} // namespace test
+} // namespace iaa
+
+#endif // IAA_TESTS_TESTUTIL_H

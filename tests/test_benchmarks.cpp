@@ -1,0 +1,158 @@
+//===- tests/test_benchmarks.cpp - Benchmark integration expectations -----===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Detailed per-benchmark expectations beyond the headline parallel/serial
+/// outcomes: which test fired for which array, which properties were
+/// consumed, and that the postpass output round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "benchprogs/Benchmarks.h"
+#include "xform/Parallelizer.h"
+#include "xform/Postpass.h"
+
+using namespace iaa;
+using namespace iaa::mf;
+using namespace iaa::xform;
+using iaa::test::parseOrDie;
+
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<Program> P;
+  PipelineResult R;
+
+  explicit Analyzed(const benchprogs::BenchmarkProgram &B) {
+    P = iaa::test::parseOrDie(B.Source);
+    R = parallelize(*P, PipelineMode::Full);
+  }
+
+  bool depProp(const char *Loop, const char *Entry) const {
+    const LoopReport *Rep = R.reportFor(Loop);
+    if (!Rep)
+      return false;
+    for (const auto &D : Rep->DepOutcomes)
+      for (const std::string &Prop : D.PropertiesUsed)
+        if (Prop == Entry)
+          return true;
+    return false;
+  }
+
+  bool privProp(const char *Loop, const char *Entry) const {
+    const LoopReport *Rep = R.reportFor(Loop);
+    if (!Rep)
+      return false;
+    for (const auto &Pv : Rep->PrivOutcomes)
+      for (const std::string &Prop : Pv.PropertiesUsed)
+        if (Prop == Entry)
+          return true;
+    return false;
+  }
+};
+
+TEST(Benchmarks, TrfdDetails) {
+  Analyzed A(benchprogs::trfd(0.05));
+  EXPECT_TRUE(A.depProp("do140", "ia:CFD"));
+  // The offset-length test fired on the host array v.
+  const LoopReport *Rep = A.R.reportFor("do140");
+  bool OffLen = false;
+  for (const auto &D : Rep->DepOutcomes)
+    if (D.Array->name() == "v" &&
+        D.Test == deptest::TestKind::OffsetLength)
+      OffLen = true;
+  EXPECT_TRUE(OffLen) << A.R.str();
+  // ia itself is reported CFV-capable (constant base).
+  EXPECT_TRUE(analysis::ClosedFormDistanceChecker::hasConstantBase(
+      *A.P, A.P->findSymbol("ia")));
+}
+
+TEST(Benchmarks, DyfesmDetails) {
+  Analyzed A(benchprogs::dyfesm(0.05));
+  for (const char *Loop : {"do4", "do10", "do30", "do50", "hop20"}) {
+    EXPECT_TRUE(A.R.reportFor(Loop)) << Loop;
+    EXPECT_TRUE(A.R.reportFor(Loop)->Parallel) << Loop << "\n" << A.R.str();
+    EXPECT_TRUE(A.depProp(Loop, "pptr:CFD")) << Loop;
+    EXPECT_TRUE(A.depProp(Loop, "iblen:CFB")) << Loop;
+  }
+}
+
+TEST(Benchmarks, BdnaDetails) {
+  Analyzed A(benchprogs::bdna(0.05));
+  EXPECT_TRUE(A.privProp("do240", "ind:CFB"));
+  EXPECT_TRUE(A.privProp("do240", "ind:CW"));
+  const LoopReport *Rep = A.R.reportFor("do240");
+  // Exactly xdt and ind end up private; f must stay shared (distinct-dim).
+  std::set<std::string> Private;
+  for (const auto &Pv : Rep->PrivOutcomes)
+    if (Pv.Privatizable)
+      Private.insert(Pv.Array->name());
+  EXPECT_TRUE(Private.count("xdt"));
+  EXPECT_TRUE(Private.count("ind"));
+  const LoopPlan *Plan = A.R.planFor(A.P->findLoop("do240"));
+  ASSERT_NE(Plan, nullptr);
+  EXPECT_FALSE(Plan->PrivateArrays.count(A.P->findSymbol("f")))
+      << "f(i) is covered by the distinct-dimension test, not privatization";
+}
+
+TEST(Benchmarks, P3mDetails) {
+  Analyzed A(benchprogs::p3m(0.05));
+  EXPECT_TRUE(A.privProp("do100", "jpr:CFB"));
+  const LoopPlan *Plan = A.R.planFor(A.P->findLoop("do100"));
+  ASSERT_NE(Plan, nullptr);
+  EXPECT_TRUE(Plan->PrivateArrays.count(A.P->findSymbol("x0")));
+  EXPECT_TRUE(Plan->PrivateArrays.count(A.P->findSymbol("r2")));
+}
+
+TEST(Benchmarks, TreeDetails) {
+  Analyzed A(benchprogs::tree(0.05));
+  EXPECT_TRUE(A.privProp("do10", "stack:STACK"));
+  const LoopPlan *Plan = A.R.planFor(A.P->findLoop("do10"));
+  ASSERT_NE(Plan, nullptr);
+  EXPECT_TRUE(Plan->PrivateArrays.count(A.P->findSymbol("stack")));
+  // The walk scalars are private.
+  EXPECT_TRUE(Plan->PrivateScalars.count(A.P->findSymbol("sptr")));
+  EXPECT_TRUE(Plan->PrivateScalars.count(A.P->findSymbol("node")));
+}
+
+TEST(Benchmarks, PostpassRoundTripsAllPrograms) {
+  for (const auto &B : benchprogs::allBenchmarks(0.05)) {
+    Analyzed A(B);
+    std::string Out = emitAnnotatedSource(*A.P, A.R);
+    EXPECT_NE(Out.find("!$iaa parallel do"), std::string::npos) << B.Name;
+    DiagnosticEngine Diags;
+    auto P2 = mf::parseProgram(Out, Diags);
+    EXPECT_NE(P2, nullptr) << B.Name << "\n" << Diags.str();
+  }
+}
+
+TEST(Benchmarks, HelperLoopsReportedButSerial) {
+  Analyzed A(benchprogs::bdna(0.05));
+  const LoopReport *Gather = A.R.reportFor("do236");
+  ASSERT_NE(Gather, nullptr);
+  EXPECT_FALSE(Gather->Parallel);
+  EXPECT_FALSE(Gather->WhyNot.empty());
+}
+
+TEST(Benchmarks, PropertyQueryCountsAreDemandDriven) {
+  // TREE needs no property queries at all (stack analysis only).
+  Analyzed Tree(benchprogs::tree(0.05));
+  unsigned TreeQueries = 0;
+  for (const auto &Rep : Tree.R.Loops)
+    TreeQueries += Rep.PropertyQueries;
+  EXPECT_EQ(TreeQueries, 0u);
+
+  // DYFESM needs them (one CFD + one CFB per irregular loop, memoized).
+  Analyzed Dy(benchprogs::dyfesm(0.05));
+  unsigned DyQueries = 0;
+  for (const auto &Rep : Dy.R.Loops)
+    DyQueries += Rep.PropertyQueries;
+  EXPECT_GT(DyQueries, 0u);
+}
+
+} // namespace

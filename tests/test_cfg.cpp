@@ -1,0 +1,298 @@
+//===- tests/test_cfg.cpp - FlatCfg and HCG structure tests ---------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/BoundedDfs.h"
+#include "cfg/FlatCfg.h"
+#include "cfg/Hcg.h"
+
+using namespace iaa;
+using namespace iaa::cfg;
+using namespace iaa::mf;
+using iaa::test::parseOrDie;
+
+namespace {
+
+TEST(FlatCfg, StraightLine) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    a = 1
+    b = 2
+    a = 3
+  end)");
+  FlatCfg G(P->mainProcedure()->body());
+  // entry + 3 stmts + exit.
+  EXPECT_EQ(G.size(), 5u);
+  EXPECT_EQ(G.node(G.entry()).Succs.size(), 1u);
+  EXPECT_EQ(G.node(G.exit()).Preds.size(), 1u);
+}
+
+TEST(FlatCfg, IfDiamond) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    a = 1
+    if (a > 0) then
+      b = 1
+    else
+      b = 2
+    end if
+    a = 4
+  end)");
+  FlatCfg G(P->mainProcedure()->body());
+  const auto *If = P->mainProcedure()->body()[1];
+  unsigned Cond = G.nodeFor(If);
+  ASSERT_NE(Cond, ~0u);
+  EXPECT_EQ(G.node(Cond).Succs.size(), 2u);
+  // The statement after the if has two predecessors (both branch ends).
+  unsigned After = G.nodeFor(P->mainProcedure()->body()[2]);
+  EXPECT_EQ(G.node(After).Preds.size(), 2u);
+}
+
+TEST(FlatCfg, EmptyElseFallsThrough) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    a = 1
+    if (a > 0) then
+      b = 1
+    end if
+    a = 4
+  end)");
+  FlatCfg G(P->mainProcedure()->body());
+  unsigned After = G.nodeFor(P->mainProcedure()->body()[2]);
+  // Preds: the then body's end and the condition itself.
+  EXPECT_EQ(G.node(After).Preds.size(), 2u);
+}
+
+TEST(FlatCfg, LoopBackEdges) {
+  auto P = parseOrDie(R"(program t
+    integer i, n, a
+    n = 3
+    do i = 1, n
+      a = i
+    end do
+  end)");
+  FlatCfg WithBack(P->mainProcedure()->body(), true);
+  FlatCfg NoBack(P->mainProcedure()->body(), false);
+  const auto *Loop = P->mainProcedure()->body()[1];
+  unsigned HeadW = WithBack.nodeFor(Loop);
+  unsigned HeadN = NoBack.nodeFor(Loop);
+  // With back edges the header has two predecessors (entry path + body).
+  EXPECT_EQ(WithBack.node(HeadW).Preds.size(), 2u);
+  EXPECT_EQ(NoBack.node(HeadN).Preds.size(), 1u);
+}
+
+TEST(FlatCfg, WhileLoopCyclic) {
+  auto P = parseOrDie(R"(program t
+    integer p
+    p = 3
+    while (p > 0)
+      p = p - 1
+    end while
+  end)");
+  FlatCfg G(P->mainProcedure()->body(), true);
+  const auto *Wh = P->mainProcedure()->body()[1];
+  unsigned Head = G.nodeFor(Wh);
+  // A cycle exists: the decrement's successor includes the header.
+  bool FoundCycle = false;
+  for (unsigned I = 0; I < G.size(); ++I)
+    for (unsigned S : G.node(I).Succs)
+      if (S == Head && I != G.entry())
+        FoundCycle = true;
+  EXPECT_TRUE(FoundCycle);
+}
+
+TEST(FlatCfg, NestedLoopsFlattened) {
+  auto P = parseOrDie(R"(program t
+    integer i, j, n, a
+    n = 2
+    do i = 1, n
+      do j = 1, n
+        a = i + j
+      end do
+    end do
+  end)");
+  FlatCfg G(P->mainProcedure()->body());
+  // Inner loop statements appear in the same graph.
+  const auto *Outer = cast<DoStmt>(P->mainProcedure()->body()[1]);
+  const auto *Inner = cast<DoStmt>(Outer->body()[0]);
+  EXPECT_NE(G.nodeFor(Inner), ~0u);
+  EXPECT_NE(G.nodeFor(Inner->body()[0]), ~0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded DFS semantics
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedDfs, BoundStopsExpansion) {
+  auto P = parseOrDie(R"(program t
+    integer a, b, c
+    a = 1
+    b = 2
+    c = 3
+  end)");
+  FlatCfg G(P->mainProcedure()->body());
+  unsigned Start = G.nodeFor(P->mainProcedure()->body()[0]);
+  unsigned Bound = G.nodeFor(P->mainProcedure()->body()[1]);
+  unsigned Jail = G.nodeFor(P->mainProcedure()->body()[2]);
+  analysis::BdfsStats Stats;
+  bool Ok = analysis::boundedDfs(
+      G, Start, [&](unsigned N) { return N == Bound; },
+      [&](unsigned N) { return N == Jail; }, &Stats);
+  // The jail lies beyond the bound: never reached.
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Stats.NodesVisited, 2u); // Start + bound.
+}
+
+TEST(BoundedDfs, JailFails) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    a = 1
+    b = 2
+  end)");
+  FlatCfg G(P->mainProcedure()->body());
+  unsigned Start = G.nodeFor(P->mainProcedure()->body()[0]);
+  unsigned Jail = G.nodeFor(P->mainProcedure()->body()[1]);
+  bool Ok = analysis::boundedDfs(
+      G, Start, [](unsigned) { return false; },
+      [&](unsigned N) { return N == Jail; });
+  EXPECT_FALSE(Ok);
+}
+
+TEST(BoundedDfs, CycleReachesStartAgain) {
+  // Within a loop, a jailed start node must be re-reachable through the
+  // back edge (the paper checks fjailed before the visited test).
+  auto P = parseOrDie(R"(program t
+    integer i, n, p
+    n = 3
+    do i = 1, n
+      p = p + 1
+    end do
+  end)");
+  const auto *Loop = cast<DoStmt>(P->mainProcedure()->body()[1]);
+  FlatCfg G(P->mainProcedure()->body(), true);
+  unsigned Inc = G.nodeFor(Loop->body()[0]);
+  bool Ok = analysis::boundedDfs(
+      G, Inc, [](unsigned) { return false; },
+      [&](unsigned N) { return N == Inc; });
+  EXPECT_FALSE(Ok) << "the increment reaches itself through the back edge";
+}
+
+//===----------------------------------------------------------------------===//
+// HCG
+//===----------------------------------------------------------------------===//
+
+TEST(Hcg, SectionsPerProcedureAndLoop) {
+  auto P = parseOrDie(R"(program t
+    integer i, n, a
+    procedure helper
+      a = 1
+    end
+    n = 3
+    do i = 1, n
+      a = i
+    end do
+    call helper
+  end)");
+  Hcg G(*P);
+  HcgSection *MainSec = G.procSection(P->mainProcedure());
+  ASSERT_NE(MainSec, nullptr);
+  HcgSection *HelperSec = G.procSection(P->findProcedure("helper"));
+  ASSERT_NE(HelperSec, nullptr);
+  const auto *Loop = cast<DoStmt>(P->mainProcedure()->body()[1]);
+  HcgSection *LoopSec = G.loopSection(Loop);
+  ASSERT_NE(LoopSec, nullptr);
+  EXPECT_EQ(LoopSec->ownerNode()->S, Loop);
+  EXPECT_EQ(LoopSec->ownerNode()->Parent, MainSec);
+}
+
+TEST(Hcg, TopoOrderRespectsEdges) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    a = 1
+    if (a > 0) then
+      b = 1
+    else
+      b = 2
+    end if
+    a = 3
+  end)");
+  Hcg G(*P);
+  HcgSection *Sec = G.procSection(P->mainProcedure());
+  for (const auto &N : Sec->nodes())
+    for (HcgNode *Succ : N->Succs)
+      EXPECT_LT(N->TopoIdx, Succ->TopoIdx);
+  EXPECT_EQ(Sec->entry()->TopoIdx, 0u);
+}
+
+TEST(Hcg, OnAllPathsExcludesBranchArms) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    a = 1
+    if (a > 0) then
+      b = 1
+    end if
+    a = 3
+  end)");
+  Hcg G(*P);
+  const auto *Main = P->mainProcedure();
+  EXPECT_TRUE(G.nodeFor(Main->body()[0])->OnAllPaths);
+  EXPECT_TRUE(G.nodeFor(Main->body()[2])->OnAllPaths);
+  const auto *If = cast<IfStmt>(Main->body()[1]);
+  EXPECT_FALSE(G.nodeFor(If->thenBody()[0])->OnAllPaths);
+}
+
+TEST(Hcg, CallSitesResolved) {
+  auto P = parseOrDie(R"(program t
+    integer a
+    procedure f
+      a = 1
+    end
+    call f
+    call f
+  end)");
+  Hcg G(*P);
+  EXPECT_EQ(G.callSites(P->findProcedure("f")).size(), 2u);
+  EXPECT_EQ(G.callSites(P->mainProcedure()).size(), 0u);
+}
+
+TEST(Hcg, NestedLoopSections) {
+  auto P = parseOrDie(R"(program t
+    integer i, j, n, a
+    n = 3
+    do i = 1, n
+      do j = 1, n
+        a = i
+      end do
+    end do
+  end)");
+  Hcg G(*P);
+  const auto *Outer = cast<DoStmt>(P->mainProcedure()->body()[1]);
+  const auto *Inner = cast<DoStmt>(Outer->body()[0]);
+  HcgSection *OuterSec = G.loopSection(Outer);
+  HcgSection *InnerSec = G.loopSection(Inner);
+  ASSERT_NE(OuterSec, nullptr);
+  ASSERT_NE(InnerSec, nullptr);
+  EXPECT_EQ(InnerSec->ownerNode()->Parent, OuterSec);
+}
+
+TEST(Hcg, WhileIsOpaqueNode) {
+  auto P = parseOrDie(R"(program t
+    integer p
+    p = 5
+    while (p > 0)
+      p = p - 1
+    end while
+  end)");
+  Hcg G(*P);
+  HcgNode *N = G.nodeFor(P->mainProcedure()->body()[1]);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->K, HcgNode::Kind::While);
+  EXPECT_EQ(N->BodySection, nullptr);
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+//===- tests/test_interp_edge.cpp - Interpreter edge cases ----------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "benchprogs/Benchmarks.h"
+#include "interp/Interpreter.h"
+#include "xform/Parallelizer.h"
+
+using namespace iaa;
+using namespace iaa::interp;
+using namespace iaa::mf;
+using iaa::test::parseOrDie;
+
+namespace {
+
+Memory runSerial(const Program &P, ExecStats *Stats = nullptr) {
+  Interpreter I(P);
+  return I.run(ExecOptions{}, Stats);
+}
+
+TEST(InterpEdge, NegativeStepLoop) {
+  auto P = parseOrDie(R"(program t
+    integer i, s
+    s = 0
+    do i = 10, 1, -2
+      s = s + i
+    end do
+  end)");
+  Memory M = runSerial(*P);
+  EXPECT_EQ(M.intScalar(P->findSymbol("s")), 10 + 8 + 6 + 4 + 2);
+}
+
+TEST(InterpEdge, NestedProcedureCalls) {
+  auto P = parseOrDie(R"(program t
+    integer a
+    procedure inner
+      a = a * 2
+    end
+    procedure outer
+      call inner
+      call inner
+    end
+    a = 3
+    call outer
+  end)");
+  Memory M = runSerial(*P);
+  EXPECT_EQ(M.intScalar(P->findSymbol("a")), 12);
+}
+
+TEST(InterpEdge, MixedIntRealArithmetic) {
+  auto P = parseOrDie(R"(program t
+    integer i
+    real r
+    i = 3
+    r = i / 2 + 0.5
+  end)");
+  Memory M = runSerial(*P);
+  // i/2 is integer division (1), then promoted: 1 + 0.5.
+  EXPECT_DOUBLE_EQ(M.realScalar(P->findSymbol("r")), 1.5);
+}
+
+TEST(InterpEdge, RealToIntAssignmentTruncates) {
+  auto P = parseOrDie(R"(program t
+    integer i
+    real r
+    r = 3.9
+    i = r
+  end)");
+  Memory M = runSerial(*P);
+  EXPECT_EQ(M.intScalar(P->findSymbol("i")), 3);
+}
+
+TEST(InterpEdge, FortranModSemantics) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    a = mod(0 - 7, 3)
+    b = mod(7, 3)
+  end)");
+  Memory M = runSerial(*P);
+  EXPECT_EQ(M.intScalar(P->findSymbol("a")), -1); // Sign of the numerator.
+  EXPECT_EQ(M.intScalar(P->findSymbol("b")), 1);
+}
+
+TEST(InterpEdge, LoopBoundsEvaluatedOnce) {
+  auto P = parseOrDie(R"(program t
+    integer i, n, c
+    n = 3
+    c = 0
+    do i = 1, n
+      n = 100
+      c = c + 1
+    end do
+  end)");
+  Memory M = runSerial(*P);
+  EXPECT_EQ(M.intScalar(P->findSymbol("c")), 3)
+      << "Fortran do bounds are captured at loop entry";
+}
+
+TEST(InterpEdge, LabeledLoopTiming) {
+  auto P = parseOrDie(R"(program t
+    integer i, n
+    real x(1000)
+    n = 1000
+    hot: do i = 1, n
+      x(i) = i * 0.5
+    end do
+  end)");
+  ExecStats Stats;
+  runSerial(*P, &Stats);
+  ASSERT_TRUE(Stats.LoopSeconds.count("hot"));
+  EXPECT_GE(Stats.LoopSeconds.at("hot"), 0.0);
+  EXPECT_LE(Stats.LoopSeconds.at("hot"), Stats.TotalSeconds + 1e-3);
+}
+
+TEST(InterpEdge, SimulatedModeMatchesThreadedResults) {
+  for (int Which = 0; Which < 5; ++Which) {
+    auto All = benchprogs::allBenchmarks(0.03);
+    auto P = parseOrDie(All[Which].Source);
+    xform::PipelineResult Plan =
+        xform::parallelize(*P, xform::PipelineMode::Full);
+    Interpreter I(*P);
+    std::set<unsigned> Dead = deadPrivateIds(Plan);
+
+    ExecOptions Threaded;
+    Threaded.Plans = &Plan;
+    Threaded.Threads = 3;
+    Memory A = I.run(Threaded);
+
+    ExecOptions Sim = Threaded;
+    Sim.Simulate = true;
+    Memory B = I.run(Sim);
+
+    EXPECT_DOUBLE_EQ(A.checksumExcluding(Dead), B.checksumExcluding(Dead))
+        << All[Which].Name;
+  }
+}
+
+TEST(InterpEdge, ReductionMergesAcrossChunks) {
+  auto P = parseOrDie(R"(program t
+    integer i, n
+    real s
+    real x(1000)
+    n = 1000
+    do i = 1, n
+      x(i) = 1.0
+    end do
+    s = 5.0
+    red: do i = 1, n
+      s = s + x(i)
+    end do
+  end)");
+  xform::PipelineResult Plan =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  ASSERT_TRUE(Plan.reportFor("red")->Parallel);
+  Interpreter I(*P);
+  ExecOptions Par;
+  Par.Plans = &Plan;
+  Par.Threads = 4;
+  Memory M = I.run(Par);
+  // The pre-loop value of s must be preserved: 5 + 1000.
+  EXPECT_DOUBLE_EQ(M.realScalar(P->findSymbol("s")), 1005.0);
+}
+
+TEST(InterpEdge, LastValueSemanticsForPrivateScalars) {
+  auto P = parseOrDie(R"(program t
+    integer i, n, tmp
+    integer out(100), final(2)
+    n = 100
+    lp: do i = 1, n
+      tmp = i * 3
+      out(i) = tmp
+    end do
+    final(1) = tmp
+    final(2) = i
+  end)");
+  xform::PipelineResult Plan =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  ASSERT_TRUE(Plan.reportFor("lp")->Parallel);
+  Interpreter I(*P);
+  ExecOptions Par;
+  Par.Plans = &Plan;
+  Par.Threads = 4;
+  Par.MinParallelWork = 0; // Force the fork even for this small loop.
+  ExecStats Stats;
+  Memory M = I.run(Par, &Stats);
+  EXPECT_EQ(Stats.ParallelLoopRuns, 1u);
+  const Buffer &Final = M.buffer(P->findSymbol("final"));
+  EXPECT_EQ(Final.I[0], 300)
+      << "tmp must hold the last iteration's value after the loop";
+  EXPECT_EQ(Final.I[1], 101) << "the do index must be ub+1 after the loop";
+}
+
+TEST(InterpEdge, TinyTripLoopStaysSerialUnderGuard) {
+  auto P = parseOrDie(R"(program t
+    integer i, r, n
+    real x(4)
+    n = 4
+    do r = 1, 100
+      small: do i = 1, n
+        x(i) = x(i) + 1.0
+      end do
+    end do
+  end)");
+  xform::PipelineResult Plan =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  ASSERT_TRUE(Plan.reportFor("small")->Parallel);
+  Interpreter I(*P);
+  ExecOptions Par;
+  Par.Plans = &Plan;
+  Par.Threads = 4; // Work estimate 4*1 < MinParallelWork.
+  ExecStats Stats;
+  I.run(Par, &Stats);
+  EXPECT_EQ(Stats.ParallelLoopRuns, 0u);
+  Par.MinParallelWork = 0;
+  ExecStats Stats2;
+  I.run(Par, &Stats2);
+  EXPECT_EQ(Stats2.ParallelLoopRuns, 100u);
+}
+
+TEST(InterpEdge, ChunkCountCappedByIterations) {
+  auto P = parseOrDie(R"(program t
+    integer i, n, c
+    integer x(3000)
+    n = 3
+    lp: do i = 1, n
+      do c = 1, 1000
+        x((i - 1) * 1000 + c) = i
+      end do
+    end do
+  end)");
+  xform::PipelineResult Plan =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  ASSERT_TRUE(Plan.reportFor("lp")->Parallel);
+  Interpreter I(*P);
+  ExecOptions Par;
+  Par.Plans = &Plan;
+  Par.Threads = 16; // More threads than iterations.
+  Memory M = I.run(Par);
+  const Buffer &B = M.buffer(P->findSymbol("x"));
+  EXPECT_EQ(B.I[0], 1);
+  EXPECT_EQ(B.I[2999], 3);
+}
+
+TEST(InterpEdge, BenchmarkSourcesAllParse) {
+  for (double Scale : {0.05, 1.0})
+    for (const auto &B : benchprogs::allBenchmarks(Scale)) {
+      DiagnosticEngine Diags;
+      auto P = mf::parseProgram(B.Source, Diags);
+      EXPECT_NE(P, nullptr) << B.Name << ": " << Diags.str();
+      EXPECT_GT(B.lineCount(), 20u);
+    }
+  DiagnosticEngine Diags;
+  EXPECT_NE(mf::parseProgram(benchprogs::dyfesmTiny().Source, Diags),
+            nullptr);
+}
+
+} // namespace

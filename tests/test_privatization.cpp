@@ -1,0 +1,333 @@
+//===- tests/test_privatization.cpp - Privatizer unit tests ---------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "cfg/Hcg.h"
+#include "xform/Privatization.h"
+
+using namespace iaa;
+using namespace iaa::mf;
+using namespace iaa::xform;
+using iaa::test::parseOrDie;
+
+namespace {
+
+struct PrivFixture {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<analysis::SymbolUses> Uses;
+  std::unique_ptr<cfg::Hcg> G;
+  std::unique_ptr<Privatizer> Priv;
+
+  explicit PrivFixture(const std::string &Source, bool EnableIAA = true) {
+    P = iaa::test::parseOrDie(Source);
+    Uses = std::make_unique<analysis::SymbolUses>(*P);
+    G = std::make_unique<cfg::Hcg>(*P);
+    Priv = std::make_unique<Privatizer>(*G, *Uses, EnableIAA);
+  }
+
+  PrivatizationResult analyze(const std::string &Label) {
+    DoStmt *L = P->findLoop(Label);
+    EXPECT_NE(L, nullptr);
+    return Priv->analyze(L);
+  }
+
+  bool privatizable(const PrivatizationResult &R, const char *Name) {
+    return R.Arrays.count(P->findSymbol(Name)) != 0;
+  }
+};
+
+TEST(Privatization, AffineFullInitCoversReads) {
+  PrivFixture F(R"(program t
+    integer i, j, n, m
+    real tmp(50), out(100)
+    n = 100
+    m = 50
+    lp: do i = 1, n
+      do j = 1, m
+        tmp(j) = i * j * 1.0
+      end do
+      do j = 1, m
+        out(i) = out(i) + tmp(j)
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_TRUE(F.privatizable(R, "tmp"));
+}
+
+TEST(Privatization, PartialInitExposes) {
+  PrivFixture F(R"(program t
+    integer i, j, n, m
+    real tmp(50), out(100)
+    n = 100
+    m = 50
+    lp: do i = 1, n
+      do j = 2, m
+        tmp(j) = i * j * 1.0
+      end do
+      do j = 1, m
+        out(i) = out(i) + tmp(j)
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_FALSE(F.privatizable(R, "tmp")) << "tmp(1) is upward exposed";
+}
+
+TEST(Privatization, ConditionalWriteExposes) {
+  PrivFixture F(R"(program t
+    integer i, j, n, m
+    real tmp(50), sel(100), out(100)
+    n = 100
+    m = 50
+    lp: do i = 1, n
+      do j = 1, m
+        if (sel(i) > 0) then
+          tmp(j) = 1.0
+        end if
+      end do
+      do j = 1, m
+        out(i) = out(i) + tmp(j)
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_FALSE(F.privatizable(R, "tmp"));
+}
+
+TEST(Privatization, BothBranchesWritingCover) {
+  PrivFixture F(R"(program t
+    integer i, j, n, m
+    real tmp(50), sel(100), out(100)
+    n = 100
+    m = 50
+    lp: do i = 1, n
+      do j = 1, m
+        if (sel(i) > 0) then
+          tmp(j) = 1.0
+        else
+          tmp(j) = 2.0
+        end if
+      end do
+      do j = 1, m
+        out(i) = out(i) + tmp(j)
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_TRUE(F.privatizable(R, "tmp"));
+}
+
+TEST(Privatization, ReadBeforeWriteExposes) {
+  PrivFixture F(R"(program t
+    integer i, j, n, m
+    real tmp(50), out(100)
+    n = 100
+    m = 50
+    lp: do i = 1, n
+      do j = 1, m
+        out(i) = out(i) + tmp(j)
+      end do
+      do j = 1, m
+        tmp(j) = i * 1.0
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_FALSE(F.privatizable(R, "tmp"));
+}
+
+TEST(Privatization, WriteOnlyTemporaryIsPrivate) {
+  PrivFixture F(R"(program t
+    integer i, j, n
+    real tmp(50)
+    n = 100
+    lp: do i = 1, n
+      do j = 1, 50
+        tmp(j) = i * 1.0
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_TRUE(F.privatizable(R, "tmp"));
+}
+
+TEST(Privatization, ScalarValueTrackingThroughReset) {
+  // The written section [c+1 : p] only exists when the reset value c is
+  // known; with an unknown base the CW contribution is dropped.
+  PrivFixture F(R"(program t
+    integer k, i, n, m, p, base
+    real x(500), y(200), dz(50, 500)
+    n = 50
+    m = 100
+    lp: do k = 1, n
+      p = 0
+      while (p < m)
+        p = p + 1
+        x(p) = y(mod(p, 100) + 1)
+      end while
+      do i = 1, p
+        dz(k, i) = x(i)
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_TRUE(F.privatizable(R, "x"));
+  bool UsedCW = false;
+  for (const auto &O : R.Outcomes)
+    if (O.Array->name() == "x" && O.Reason == "CW")
+      UsedCW = true;
+  EXPECT_TRUE(UsedCW);
+}
+
+TEST(Privatization, IndirectReadNeedsIAA) {
+  const char *Src = R"(program t
+    integer i, j, n, p, q
+    integer ind(200)
+    real work(200), out(100)
+    n = 100
+    p = 200
+    lp: do i = 1, n
+      q = 0
+      do j = 1, p
+        if (mod(j + i, 4) == 0) then
+          q = q + 1
+          ind(q) = j
+        end if
+      end do
+      do j = 1, p
+        work(j) = 0.0
+      end do
+      do j = 1, q
+        out(i) = out(i) + work(ind(j))
+      end do
+    end do
+  end)";
+  PrivFixture With(Src, /*EnableIAA=*/true);
+  PrivatizationResult R1 = With.analyze("lp");
+  EXPECT_TRUE(With.privatizable(R1, "work"));
+
+  PrivFixture Without(Src, /*EnableIAA=*/false);
+  PrivatizationResult R2 = Without.analyze("lp");
+  EXPECT_FALSE(Without.privatizable(R2, "work"));
+}
+
+TEST(Privatization, ScalarClassification) {
+  PrivFixture F(R"(program t
+    integer i, n, tmp, carry
+    real s
+    real x(100)
+    n = 100
+    lp: do i = 1, n
+      tmp = i * 2
+      x(i) = tmp * 1.0 + carry
+      carry = i
+      s = s + x(i)
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_TRUE(R.Scalars.Private.count(F.P->findSymbol("tmp")));
+  EXPECT_TRUE(R.Scalars.Carried.count(F.P->findSymbol("carry")))
+      << "carry is read before it is written in the iteration";
+  EXPECT_TRUE(R.Scalars.Reductions.count(F.P->findSymbol("s")));
+}
+
+TEST(Privatization, ReductionVarUsedElsewhereNotReduction) {
+  PrivFixture F(R"(program t
+    integer i, n
+    real s
+    real x(100)
+    n = 100
+    lp: do i = 1, n
+      s = s + x(i)
+      x(i) = s
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_FALSE(R.Scalars.Reductions.count(F.P->findSymbol("s")));
+  EXPECT_TRUE(R.Scalars.Carried.count(F.P->findSymbol("s")));
+}
+
+TEST(Privatization, ConditionalScalarWriteStaysCarried) {
+  PrivFixture F(R"(program t
+    integer i, n, flag
+    real x(100), y(100)
+    n = 100
+    lp: do i = 1, n
+      if (y(i) > 0) then
+        flag = i
+      end if
+      x(i) = flag * 1.0
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_TRUE(R.Scalars.Carried.count(F.P->findSymbol("flag")));
+}
+
+TEST(Privatization, InnerLoopIndexIsPrivate) {
+  PrivFixture F(R"(program t
+    integer i, j, n
+    real x(100)
+    n = 100
+    lp: do i = 1, n
+      do j = 1, 10
+        x(i) = x(i) + j
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_TRUE(R.Scalars.Private.count(F.P->findSymbol("j")));
+  EXPECT_TRUE(R.Scalars.Carried.empty());
+}
+
+TEST(Privatization, ZeroTripInnerLoopDemotesCoverage) {
+  // The covering write loop has data-dependent bounds: it may not execute,
+  // so reads after it are exposed.
+  PrivFixture F(R"(program t
+    integer i, j, n, m
+    integer cnt(100)
+    real tmp(50), out(100)
+    n = 100
+    lp: do i = 1, n
+      do j = 1, cnt(i)
+        tmp(j) = 1.0
+      end do
+      do j = 1, 50
+        out(i) = out(i) + tmp(j)
+      end do
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  EXPECT_FALSE(F.privatizable(R, "tmp"));
+}
+
+TEST(Privatization, LiveOutFlagComputed) {
+  PrivFixture F(R"(program t
+    integer i, j, n
+    real tmp(50), final(50)
+    n = 100
+    lp: do i = 1, n
+      do j = 1, 50
+        tmp(j) = i * 1.0
+      end do
+    end do
+    do j = 1, 50
+      final(j) = tmp(j)
+    end do
+  end)");
+  PrivatizationResult R = F.analyze("lp");
+  bool Found = false;
+  for (const auto &O : R.Outcomes)
+    if (O.Array->name() == "tmp") {
+      Found = true;
+      EXPECT_TRUE(O.LiveOut);
+    }
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

@@ -1,0 +1,363 @@
+//===- tests/test_property.cpp - Array property analysis tests ------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/PropertySolver.h"
+#include "cfg/Hcg.h"
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::mf;
+using namespace iaa::sec;
+using namespace iaa::sym;
+using iaa::test::parseOrDie;
+
+namespace {
+
+/// The Fig. 3 program: offset() built from length() in a do loop, then used
+/// to traverse the host array segment by segment (CCS format).
+const char *Fig3Source = R"(program fig3
+  integer n, i, j
+  real data(10000)
+  integer offset(101), length(100)
+  n = 100
+  do i = 1, n
+    length(i) = mod(i * 7, 13) + 1
+  end do
+  offset(1) = 1
+  d100: do i = 1, n
+    offset(i + 1) = offset(i) + length(i)
+  end do
+  d200: do i = 1, n
+    d300: do j = 1, length(i)
+      data(offset(i) + j - 1) = 1.0
+    end do
+  end do
+end)";
+
+class PropertyTest : public ::testing::Test {
+protected:
+  void build(const char *Source) {
+    P = parseOrDie(Source);
+    Uses = std::make_unique<SymbolUses>(*P);
+    G = std::make_unique<cfg::Hcg>(*P);
+    Solver = std::make_unique<PropertySolver>(*G, *Uses);
+  }
+
+  std::unique_ptr<mf::Program> P;
+  std::unique_ptr<SymbolUses> Uses;
+  std::unique_ptr<cfg::Hcg> G;
+  std::unique_ptr<PropertySolver> Solver;
+};
+
+TEST_F(PropertyTest, DiscoverDistanceFig3) {
+  build(Fig3Source);
+  const Symbol *Offset = P->findSymbol("offset");
+  auto D = ClosedFormDistanceChecker::discoverDistance(*P, Offset);
+  ASSERT_TRUE(D.has_value());
+  // Distance at position pos is length(pos).
+  SymExpr Expected = SymExpr::arrayElem(
+      P->findSymbol("length"), {SymExpr::var(placeholderSymbol())});
+  EXPECT_TRUE(D->equals(Expected)) << D->str();
+}
+
+TEST_F(PropertyTest, VerifyDistanceBeforeUseLoop) {
+  build(Fig3Source);
+  const Symbol *Offset = P->findSymbol("offset");
+  const Symbol *N = P->findSymbol("n");
+  auto D = ClosedFormDistanceChecker::discoverDistance(*P, Offset);
+  ASSERT_TRUE(D.has_value());
+  ClosedFormDistanceChecker C(Offset, *D, *Uses);
+  // Query: distance available on [1 : n] just before the d200 loop.
+  Section S = Section::interval(SymExpr::constant(1), SymExpr::var(N));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("d200"), C, S);
+  EXPECT_TRUE(R.Verified) << "nodes visited: " << R.NodesVisited;
+}
+
+TEST_F(PropertyTest, DistanceKilledByInterveningWrite) {
+  // A scatter write to offset between definition and use kills the query.
+  build(R"(program killed
+    integer n, i, t
+    integer offset(101), length(100), perm(100)
+    n = 100
+    do i = 1, n
+      length(i) = 3
+    end do
+    offset(1) = 1
+    d100: do i = 1, n
+      offset(i + 1) = offset(i) + length(i)
+    end do
+    offset(perm(3)) = 17
+    d200: do i = 1, n
+      t = offset(i)
+    end do
+  end)");
+  const Symbol *Offset = P->findSymbol("offset");
+  auto D = ClosedFormDistanceChecker::discoverDistance(*P, Offset);
+  ASSERT_TRUE(D.has_value());
+  ClosedFormDistanceChecker C(Offset, *D, *Uses);
+  Section S =
+      Section::interval(SymExpr::constant(1), SymExpr::var(P->findSymbol("n")));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("d200"), C, S);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_TRUE(R.KilledEarly);
+}
+
+TEST_F(PropertyTest, DistanceKilledByWriteToDistanceArray) {
+  build(R"(program killdist
+    integer n, i, t
+    integer offset(101), length(100)
+    n = 100
+    do i = 1, n
+      length(i) = 3
+    end do
+    offset(1) = 1
+    d100: do i = 1, n
+      offset(i + 1) = offset(i) + length(i)
+    end do
+    length(5) = 99
+    d200: do i = 1, n
+      t = offset(i)
+    end do
+  end)");
+  const Symbol *Offset = P->findSymbol("offset");
+  auto D = ClosedFormDistanceChecker::discoverDistance(*P, Offset);
+  ASSERT_TRUE(D.has_value());
+  ClosedFormDistanceChecker C(Offset, *D, *Uses);
+  Section S =
+      Section::interval(SymExpr::constant(1), SymExpr::var(P->findSymbol("n")));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("d200"), C, S);
+  EXPECT_FALSE(R.Verified);
+}
+
+TEST_F(PropertyTest, InterproceduralDistance) {
+  // The index arrays are defined in one procedure and used in another
+  // (Sec. 3.2.6): the query dives through the call at the definition side
+  // and splits at the procedure head on the use side.
+  build(R"(program interproc
+    integer n, i, j, t
+    integer offset(101), length(100)
+    real data(10000)
+    procedure setup
+      do i = 1, n
+        length(i) = mod(i * 3, 7) + 1
+      end do
+      offset(1) = 1
+      do i = 1, n
+        offset(i + 1) = offset(i) + length(i)
+      end do
+    end
+    procedure compute
+      d200: do i = 1, n
+        do j = 1, length(i)
+          data(offset(i) + j - 1) = 2.0
+        end do
+      end do
+    end
+    n = 100
+    call setup
+    call compute
+  end)");
+  const Symbol *Offset = P->findSymbol("offset");
+  auto D = ClosedFormDistanceChecker::discoverDistance(*P, Offset);
+  ASSERT_TRUE(D.has_value());
+  ClosedFormDistanceChecker C(Offset, *D, *Uses);
+  Section S =
+      Section::interval(SymExpr::constant(1), SymExpr::var(P->findSymbol("n")));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("d200"), C, S);
+  EXPECT_TRUE(R.Verified);
+  EXPECT_GE(R.QueriesSplit, 1u) << "the query must split at 'compute's head";
+}
+
+TEST_F(PropertyTest, Fig8ClosedFormValue) {
+  // Fig. 8: a(i) = i*(i-1)/2 defined directly; st1 generates [n:n].
+  build(R"(program fig8
+    integer n, i, t
+    integer a(100)
+    n = 100
+    do i = 1, n
+      a(i) = i * (i - 1) / 2
+    end do
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  const Symbol *A = P->findSymbol("a");
+  // Property: a(pos) == pos*(pos-1)/2.
+  SymExpr Pos = SymExpr::var(placeholderSymbol());
+  SymExpr Val = SymExpr::div(SymExpr::mul(Pos, Pos - 1), SymExpr::constant(2));
+  ClosedFormValueChecker C(A, Val, *Uses);
+  Section S =
+      Section::interval(SymExpr::constant(1), SymExpr::var(P->findSymbol("n")));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("use"), C, S);
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST_F(PropertyTest, Fig8MismatchKills) {
+  build(R"(program fig8bad
+    integer n, i, t
+    integer a(100)
+    n = 100
+    do i = 1, n
+      a(i) = i * (i + 1) / 2
+    end do
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  const Symbol *A = P->findSymbol("a");
+  SymExpr Pos = SymExpr::var(placeholderSymbol());
+  SymExpr Val = SymExpr::div(SymExpr::mul(Pos, Pos - 1), SymExpr::constant(2));
+  ClosedFormValueChecker C(A, Val, *Uses);
+  Section S =
+      Section::interval(SymExpr::constant(1), SymExpr::var(P->findSymbol("n")));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("use"), C, S);
+  EXPECT_FALSE(R.Verified);
+}
+
+TEST_F(PropertyTest, GatherGivesBoundsAndInjectivity) {
+  build(R"(program gcfb
+    integer k, n, i, j, q, p, jj, t
+    real x(1000)
+    integer ind(1000)
+    n = 10
+    p = 100
+    outer: do k = 1, n
+      q = 0
+      gath: do i = 1, p
+        if (x(i) > 0) then
+          q = q + 1
+          ind(q) = i
+        end if
+      end do
+      use: do j = 1, q
+        t = ind(j)
+      end do
+    end do
+  end)");
+  const Symbol *Ind = P->findSymbol("ind");
+  const Symbol *Q = P->findSymbol("q");
+  // Query at the read site: bounds of ind over [1:q].
+  DoStmt *UseLoop = P->findLoop("use");
+  const Stmt *ReadStmt = UseLoop->body()[0];
+  Section S = Section::interval(SymExpr::constant(1), SymExpr::var(Q));
+
+  ClosedFormBoundChecker CFB(Ind, *Uses);
+  PropertyResult R1 = Solver->verifyBefore(ReadStmt, CFB, S);
+  EXPECT_TRUE(R1.Verified);
+  ASSERT_TRUE(CFB.valueBounds().Lo.isFinite());
+  EXPECT_TRUE(CFB.valueBounds().Lo.E.equals(SymExpr::constant(1)));
+  EXPECT_TRUE(
+      CFB.valueBounds().Hi.E.equals(SymExpr::var(P->findSymbol("p"))));
+
+  InjectivityChecker Inj(Ind, *Uses);
+  PropertyResult R2 = Solver->verifyBefore(ReadStmt, Inj, S);
+  EXPECT_TRUE(R2.Verified);
+  EXPECT_EQ(Inj.genSites(), 1u);
+}
+
+TEST_F(PropertyTest, CounterRedefinitionKillsGatherQuery) {
+  build(R"(program qredef
+    integer k, n, i, j, q, p, jj, t
+    real x(1000)
+    integer ind(1000)
+    n = 10
+    p = 100
+    outer: do k = 1, n
+      q = 0
+      gath: do i = 1, p
+        if (x(i) > 0) then
+          q = q + 1
+          ind(q) = i
+        end if
+      end do
+      q = q / 2
+      use: do j = 1, q
+        t = ind(j)
+      end do
+    end do
+  end)");
+  const Symbol *Ind = P->findSymbol("ind");
+  const Symbol *Q = P->findSymbol("q");
+  DoStmt *UseLoop = P->findLoop("use");
+  Section S = Section::interval(SymExpr::constant(1), SymExpr::var(Q));
+  ClosedFormBoundChecker CFB(Ind, *Uses);
+  // The section [1:q] refers to a q that was redefined after the gather:
+  // the stale rule must reject the verification.
+  PropertyResult R = Solver->verifyBefore(UseLoop->body()[0], CFB, S);
+  EXPECT_FALSE(R.Verified);
+}
+
+TEST_F(PropertyTest, DirectDefsGiveBounds) {
+  // iblen(i) = mod(..., m) + 1 gives bounds [1 : m].
+  build(R"(program direct
+    integer n, i, t
+    integer iblen(100)
+    n = 100
+    def: do i = 1, n
+      iblen(i) = mod(i * 11, 8) + 1
+    end do
+    use: do i = 1, n
+      t = iblen(i)
+    end do
+  end)");
+  const Symbol *Iblen = P->findSymbol("iblen");
+  ClosedFormBoundChecker CFB(Iblen, *Uses);
+  Section S =
+      Section::interval(SymExpr::constant(1), SymExpr::var(P->findSymbol("n")));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("use"), CFB, S);
+  EXPECT_TRUE(R.Verified);
+  RangeEnv Env;
+  ConstRange Lo = evalConstRange(CFB.valueBounds().Lo.E, Env);
+  ConstRange Hi = evalConstRange(CFB.valueBounds().Hi.E, Env);
+  ASSERT_TRUE(Lo.Lo && Hi.Hi);
+  EXPECT_GE(*Lo.Lo, 1);
+  EXPECT_LE(*Hi.Hi, 8);
+}
+
+TEST_F(PropertyTest, PartialDefinitionFails) {
+  // Only [1 : n/2] defined but the query asks [1 : n].
+  build(R"(program partial
+    integer n, m, i, t
+    integer a(100)
+    n = 100
+    m = 50
+    def: do i = 1, m
+      a(i) = i
+    end do
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  const Symbol *A = P->findSymbol("a");
+  ClosedFormBoundChecker CFB(A, *Uses);
+  Section S =
+      Section::interval(SymExpr::constant(1), SymExpr::var(P->findSymbol("n")));
+  PropertyResult R = Solver->verifyBefore(P->findLoop("use"), CFB, S);
+  EXPECT_FALSE(R.Verified) << "m < n is not provable, so [m+1:n] is exposed";
+}
+
+TEST_F(PropertyTest, HasConstantBaseDistinguishesCfvFromCfd) {
+  build(Fig3Source);
+  EXPECT_TRUE(ClosedFormDistanceChecker::hasConstantBase(
+      *P, P->findSymbol("offset")));
+  build(R"(program nobase
+    integer n, i, istart
+    integer pptr(101), iblen(100)
+    n = 100
+    istart = mod(n, 3) + 1
+    pptr(1) = istart
+    do i = 1, n
+      pptr(i + 1) = pptr(i) + iblen(i)
+    end do
+  end)");
+  EXPECT_FALSE(ClosedFormDistanceChecker::hasConstantBase(
+      *P, P->findSymbol("pptr")));
+}
+
+} // namespace

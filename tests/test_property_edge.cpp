@@ -1,0 +1,328 @@
+//===- tests/test_property_edge.cpp - Property solver edge cases ----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/PropertySolver.h"
+#include "cfg/Hcg.h"
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::mf;
+using namespace iaa::sec;
+using namespace iaa::sym;
+using iaa::test::parseOrDie;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<SymbolUses> Uses;
+  std::unique_ptr<cfg::Hcg> G;
+  std::unique_ptr<PropertySolver> Solver;
+
+  explicit Fixture(const std::string &Source) {
+    P = iaa::test::parseOrDie(Source);
+    Uses = std::make_unique<SymbolUses>(*P);
+    G = std::make_unique<cfg::Hcg>(*P);
+    Solver = std::make_unique<PropertySolver>(*G, *Uses);
+  }
+
+  PropertyResult cfb(const Stmt *At, const char *Array, const Section &S,
+                     SymRange *BoundsOut = nullptr) {
+    ClosedFormBoundChecker C(P->findSymbol(Array), *Uses);
+    PropertyResult R = Solver->verifyBefore(At, C, S);
+    if (BoundsOut)
+      *BoundsOut = C.valueBounds();
+    return R;
+  }
+};
+
+TEST(PropertyEdge, QueryFromInsideLoopUsesDoHeaderRule) {
+  // The use is inside an outer loop; the defs are *before* that loop. The
+  // query escapes through QueryProp_doheader (Fig. 10): iterations before
+  // the current one neither kill nor generate, so the remainder propagates
+  // above the loop and meets the definitions.
+  Fixture F(R"(program t
+    integer i, k, n, t
+    integer a(100)
+    n = 100
+    def: do i = 1, n
+      a(i) = mod(i, 9) + 1
+    end do
+    outer: do k = 1, 50
+      use: do i = 1, n
+        t = a(i)
+      end do
+    end do
+  end)");
+  DoStmt *Use = F.P->findLoop("use");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  SymRange B;
+  PropertyResult R = F.cfb(Use->body()[0], "a", S, &B);
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST(PropertyEdge, KillInPreviousIterationsDefeatsQuery) {
+  // The outer loop body itself scatters into a() before the use: the
+  // doheader rule must notice that *previous iterations* may have killed
+  // elements of the query section.
+  Fixture F(R"(program t
+    integer i, k, n, t
+    integer a(100), perm(100)
+    n = 100
+    def: do i = 1, n
+      a(i) = mod(i, 9) + 1
+    end do
+    outer: do k = 1, 50
+      use: do i = 1, n
+        t = a(i)
+      end do
+      a(perm(k)) = t
+    end do
+  end)");
+  DoStmt *Use = F.P->findLoop("use");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  PropertyResult R = F.cfb(Use->body()[0], "a", S);
+  EXPECT_FALSE(R.Verified)
+      << "a(perm(k)) from iteration k-1 may violate the bounds";
+}
+
+TEST(PropertyEdge, RegenerationInsideIterationSurvivesOwnKill) {
+  // The body re-creates the whole property before the use in the *same*
+  // iteration, so earlier iterations' kills do not matter.
+  Fixture F(R"(program t
+    integer i, k, n, t
+    integer a(100), perm(100)
+    n = 100
+    outer: do k = 1, 50
+      def: do i = 1, n
+        a(i) = mod(i + k, 9) + 1
+      end do
+      use: do i = 1, n
+        t = a(i)
+      end do
+      a(perm(k)) = 777
+    end do
+  end)");
+  DoStmt *Use = F.P->findLoop("use");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  SymRange B;
+  PropertyResult R = F.cfb(Use->body()[0], "a", S, &B);
+  EXPECT_TRUE(R.Verified);
+  // The hull covers both branches of the def (mod+1 in [1,9]).
+  RangeEnv Env;
+  ConstRange Hi = evalConstRange(B.Hi.E, Env);
+  ASSERT_TRUE(Hi.Hi);
+  EXPECT_LE(*Hi.Hi, 9);
+}
+
+TEST(PropertyEdge, WhileLoopWritingTargetKills) {
+  Fixture F(R"(program t
+    integer i, n, p, t
+    integer a(100)
+    n = 100
+    do i = 1, n
+      a(i) = 5
+    end do
+    p = 3
+    while (p > 0)
+      a(p) = 99
+      p = p - 1
+    end while
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  PropertyResult R = F.cfb(F.P->findLoop("use"), "a", S);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_TRUE(R.KilledEarly);
+}
+
+TEST(PropertyEdge, WhileLoopNotTouchingTargetIsTransparent) {
+  Fixture F(R"(program t
+    integer i, n, p, t
+    integer a(100)
+    real w(10)
+    n = 100
+    do i = 1, n
+      a(i) = 5
+    end do
+    p = 3
+    while (p > 0)
+      w(p) = 1.0
+      p = p - 1
+    end while
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  EXPECT_TRUE(F.cfb(F.P->findLoop("use"), "a", S).Verified);
+}
+
+TEST(PropertyEdge, BranchDefinitionsBothGenerate) {
+  // Defs on both arms of an if: each arm generates its own bounds; the
+  // query must be satisfied on both paths and the hull must cover both.
+  Fixture F(R"(program t
+    integer i, n, t
+    integer a(100)
+    real sel(100)
+    n = 100
+    def: do i = 1, n
+      if (sel(i) > 0) then
+        a(i) = 3
+      else
+        a(i) = 7
+      end if
+    end do
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  SymRange B;
+  PropertyResult R = F.cfb(F.P->findLoop("use"), "a", S, &B);
+  EXPECT_TRUE(R.Verified);
+  RangeEnv Env;
+  ConstRange Lo = evalConstRange(B.Lo.E, Env);
+  ConstRange Hi = evalConstRange(B.Hi.E, Env);
+  ASSERT_TRUE(Lo.Lo && Hi.Hi);
+  EXPECT_EQ(*Lo.Lo, 3);
+  EXPECT_EQ(*Hi.Hi, 7);
+}
+
+TEST(PropertyEdge, OneArmedDefinitionDoesNotGenerate) {
+  // A def under a condition is a MAY write: it cannot satisfy the query.
+  Fixture F(R"(program t
+    integer i, n, t
+    integer a(100)
+    real sel(100)
+    n = 100
+    def: do i = 1, n
+      if (sel(i) > 0) then
+        a(i) = 3
+      end if
+    end do
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  EXPECT_FALSE(F.cfb(F.P->findLoop("use"), "a", S).Verified);
+}
+
+TEST(PropertyEdge, QuerySplittingFailsForOneBadCaller) {
+  // Two call sites of the using procedure; only one is preceded by the
+  // definitions. Query splitting (Fig. 12) requires *all* callers to
+  // satisfy the query.
+  Fixture F(R"(program t
+    integer i, n, t
+    integer a(100)
+    procedure defs
+      do i = 1, n
+        a(i) = mod(i, 9) + 1
+      end do
+    end
+    procedure user
+      use: do i = 1, n
+        t = a(i)
+      end do
+    end
+    n = 100
+    call user
+    call defs
+    call user
+  end)");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  PropertyResult R = F.cfb(F.P->findLoop("use"), "a", S);
+  EXPECT_FALSE(R.Verified) << "the first call precedes the definitions";
+  EXPECT_GE(R.QueriesSplit, 2u);
+}
+
+TEST(PropertyEdge, QuerySplittingSucceedsWhenAllCallersCovered) {
+  Fixture F(R"(program t
+    integer i, n, t
+    integer a(100)
+    procedure defs
+      do i = 1, n
+        a(i) = mod(i, 9) + 1
+      end do
+    end
+    procedure user
+      use: do i = 1, n
+        t = a(i)
+      end do
+    end
+    n = 100
+    call defs
+    call user
+    call user
+  end)");
+  Section S = Section::interval(SymExpr::constant(1),
+                                SymExpr::var(F.P->findSymbol("n")));
+  PropertyResult R = F.cfb(F.P->findLoop("use"), "a", S);
+  EXPECT_TRUE(R.Verified);
+  EXPECT_GE(R.QueriesSplit, 2u);
+}
+
+TEST(PropertyEdge, EmptyQuerySectionTriviallyTrue) {
+  Fixture F(R"(program t
+    integer i, n, t
+    integer a(100)
+    n = 100
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  PropertyResult R =
+      F.cfb(F.P->findLoop("use"), "a", Section::empty());
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST(PropertyEdge, UniverseQueryFailsFast) {
+  Fixture F(R"(program t
+    integer i, n, t
+    integer a(100)
+    n = 100
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  PropertyResult R =
+      F.cfb(F.P->findLoop("use"), "a", Section::universe());
+  EXPECT_FALSE(R.Verified);
+}
+
+TEST(PropertyEdge, MainEntryReachedMeansUnavailable) {
+  // No definitions at all: the query reaches the program entry with a
+  // nonempty remainder (Fig. 12's program-entry case).
+  Fixture F(R"(program t
+    integer i, n, t
+    integer a(100)
+    n = 100
+    use: do i = 1, n
+      t = a(i)
+    end do
+  end)");
+  // A literal section avoids the stale-scalar rule at `n = 100`.
+  Section S = Section::interval(SymExpr::constant(1), SymExpr::constant(100));
+  PropertyResult R = F.cfb(F.P->findLoop("use"), "a", S);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_FALSE(R.KilledEarly) << "not killed — simply never generated";
+}
+
+} // namespace

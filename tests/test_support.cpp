@@ -1,0 +1,143 @@
+//===- tests/test_support.cpp - Support layer tests -----------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Timer.h"
+
+using namespace iaa;
+using namespace iaa::mf;
+using iaa::test::parseOrDie;
+
+namespace {
+
+TEST(Support, CastingTemplates) {
+  auto P = parseOrDie(R"(program t
+    integer a
+    real x(3)
+    a = 1
+    x(1) = 2.0
+  end)");
+  Stmt *S0 = P->mainProcedure()->body()[0];
+  Stmt *S1 = P->mainProcedure()->body()[1];
+
+  EXPECT_TRUE(isa<AssignStmt>(S0));
+  EXPECT_FALSE(isa<IfStmt>(S0));
+  EXPECT_TRUE((isa<IfStmt, AssignStmt>(S0))) << "variadic isa";
+
+  AssignStmt *AS = dyn_cast<AssignStmt>(S0);
+  ASSERT_NE(AS, nullptr);
+  EXPECT_TRUE(isa<VarRef>(AS->lhs()));
+  EXPECT_EQ(dyn_cast<IfStmt>(S0), nullptr);
+
+  const AssignStmt *AS1 = cast<AssignStmt>(static_cast<const Stmt *>(S1));
+  EXPECT_NE(AS1->arrayTarget(), nullptr);
+
+  Stmt *Null = nullptr;
+  EXPECT_FALSE(isa_and_present<AssignStmt>(Null));
+  EXPECT_EQ(dyn_cast_if_present<AssignStmt>(Null), nullptr);
+  EXPECT_TRUE(isa_and_present<AssignStmt>(S0));
+}
+
+TEST(Support, DiagnosticsFormatting) {
+  DiagnosticEngine D;
+  D.error({3, 7}, "bad thing");
+  D.warning({1, 1}, "odd thing");
+  D.note({}, "context");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+  std::string S = D.str();
+  EXPECT_NE(S.find("3:7: error: bad thing"), std::string::npos);
+  EXPECT_NE(S.find("1:1: warning: odd thing"), std::string::npos);
+  EXPECT_NE(S.find("<unknown>: note: context"), std::string::npos);
+}
+
+TEST(Support, SourceLocValidity) {
+  SourceLoc Unknown;
+  EXPECT_FALSE(Unknown.isValid());
+  SourceLoc Known{4, 2};
+  EXPECT_TRUE(Known.isValid());
+  EXPECT_EQ(Known.str(), "4:2");
+  EXPECT_TRUE((SourceLoc{4, 2} == Known));
+}
+
+TEST(Support, AccumulatingTimer) {
+  AccumulatingTimer T;
+  EXPECT_DOUBLE_EQ(T.seconds(), 0.0);
+  {
+    TimeRegion R(T);
+    volatile double Sink = 0;
+    for (int I = 0; I < 100000; ++I)
+      Sink += I * 0.5;
+    (void)Sink;
+  }
+  double First = T.seconds();
+  EXPECT_GT(First, 0.0);
+  {
+    TimeRegion R(T);
+  }
+  EXPECT_GE(T.seconds(), First);
+  T.clear();
+  EXPECT_DOUBLE_EQ(T.seconds(), 0.0);
+}
+
+TEST(Support, ProgramTraversalOrder) {
+  auto P = parseOrDie(R"(program t
+    integer a, i
+    procedure f
+      a = 1
+    end
+    a = 2
+    do i = 1, 3
+      a = 3
+    end do
+  end)");
+  std::vector<StmtKind> Kinds;
+  P->forEachStmt([&](Stmt *S) { Kinds.push_back(S->kind()); });
+  // Procedure f first (assign), then main: assign, do, inner assign.
+  ASSERT_EQ(Kinds.size(), 4u);
+  EXPECT_EQ(Kinds[0], StmtKind::Assign);
+  EXPECT_EQ(Kinds[1], StmtKind::Assign);
+  EXPECT_EQ(Kinds[2], StmtKind::Do);
+  EXPECT_EQ(Kinds[3], StmtKind::Assign);
+}
+
+TEST(Support, FindLoopReturnsFirstMatch) {
+  auto P = parseOrDie(R"(program t
+    integer i, a
+    x1: do i = 1, 3
+      a = 1
+    end do
+    x2: do i = 1, 3
+      a = 2
+    end do
+  end)");
+  EXPECT_NE(P->findLoop("x1"), nullptr);
+  EXPECT_NE(P->findLoop("x2"), nullptr);
+  EXPECT_EQ(P->findLoop("nope"), nullptr);
+  EXPECT_NE(P->findLoop("x1"), P->findLoop("x2"));
+}
+
+TEST(Support, StmtIdsAreDense) {
+  auto P = parseOrDie(R"(program t
+    integer a, i
+    a = 1
+    do i = 1, 2
+      a = 2
+    end do
+  end)");
+  std::set<unsigned> Ids;
+  P->forEachStmt([&](Stmt *S) { Ids.insert(S->id()); });
+  EXPECT_EQ(Ids.size(), 3u);
+  for (unsigned Id : Ids)
+    EXPECT_LT(Id, P->numStmts());
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tests/test_symboluses.cpp - Use sets, constants, postpass ----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/GlobalConstants.h"
+#include "analysis/SymbolUses.h"
+#include "benchprogs/Benchmarks.h"
+#include "xform/Parallelizer.h"
+#include "xform/Postpass.h"
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::mf;
+using iaa::test::parseOrDie;
+
+namespace {
+
+TEST(SymbolUses, DirectReadsAndWrites) {
+  auto P = parseOrDie(R"(program t
+    integer a, b, c
+    real x(10)
+    a = b + 1
+    x(c) = 2.0
+  end)");
+  SymbolUses U(*P);
+  UseSet Main = U.bodyUses(P->mainProcedure()->body());
+  EXPECT_TRUE(Main.writes(P->findSymbol("a")));
+  EXPECT_TRUE(Main.reads(P->findSymbol("b")));
+  EXPECT_TRUE(Main.writes(P->findSymbol("x")));
+  EXPECT_TRUE(Main.reads(P->findSymbol("c"))) << "subscripts are reads";
+  EXPECT_FALSE(Main.reads(P->findSymbol("a")));
+}
+
+TEST(SymbolUses, TransitiveThroughCalls) {
+  auto P = parseOrDie(R"(program t
+    integer a, b
+    procedure leaf
+      a = b
+    end
+    procedure mid
+      call leaf
+    end
+    call mid
+  end)");
+  SymbolUses U(*P);
+  const UseSet &Mid = U.procedureUses(P->findProcedure("mid"));
+  EXPECT_TRUE(Mid.writes(P->findSymbol("a")));
+  EXPECT_TRUE(Mid.reads(P->findSymbol("b")));
+}
+
+TEST(SymbolUses, MutualCallsConverge) {
+  // Procedures calling each other in sequence (non-recursive chain) must
+  // stabilize with the union of all effects.
+  auto P = parseOrDie(R"(program t
+    integer a, b, c
+    procedure pc
+      c = 1
+    end
+    procedure pb
+      b = 1
+      call pc
+    end
+    procedure pa
+      a = 1
+      call pb
+    end
+    call pa
+  end)");
+  SymbolUses U(*P);
+  const UseSet &Pa = U.procedureUses(P->findProcedure("pa"));
+  EXPECT_TRUE(Pa.writes(P->findSymbol("a")));
+  EXPECT_TRUE(Pa.writes(P->findSymbol("b")));
+  EXPECT_TRUE(Pa.writes(P->findSymbol("c")));
+}
+
+TEST(SymbolUses, LoopHeaderExprsCounted) {
+  auto P = parseOrDie(R"(program t
+    integer i, lo, hi, st, a
+    do i = lo, hi, st
+      a = 1
+    end do
+  end)");
+  SymbolUses U(*P);
+  UseSet Main = U.bodyUses(P->mainProcedure()->body());
+  EXPECT_TRUE(Main.reads(P->findSymbol("lo")));
+  EXPECT_TRUE(Main.reads(P->findSymbol("hi")));
+  EXPECT_TRUE(Main.reads(P->findSymbol("st")));
+  EXPECT_TRUE(Main.writes(P->findSymbol("i")));
+}
+
+TEST(GlobalConstants, SingleConstantAssignment) {
+  auto P = parseOrDie(R"(program t
+    integer n, m, k, i
+    n = 100
+    m = n + 1
+    k = 5
+    k = 6
+    do i = 1, 3
+    end do
+  end)");
+  GlobalConstants C(*P);
+  EXPECT_EQ(C.valueOf(P->findSymbol("n")), 100);
+  EXPECT_FALSE(C.valueOf(P->findSymbol("m")).has_value())
+      << "m's RHS was not a literal at collection time";
+  EXPECT_FALSE(C.valueOf(P->findSymbol("k")).has_value())
+      << "k is assigned twice";
+  EXPECT_FALSE(C.valueOf(P->findSymbol("i")).has_value())
+      << "loop indices are never constants";
+}
+
+TEST(GlobalConstants, FoldedExpressionCounts) {
+  auto P = parseOrDie(R"(program t
+    integer n
+    n = 2 * 50 + 7
+  end)");
+  GlobalConstants C(*P);
+  EXPECT_EQ(C.valueOf(P->findSymbol("n")), 107);
+}
+
+TEST(GlobalConstants, BindAllProvidesRanges) {
+  auto P = parseOrDie(R"(program t
+    integer n
+    n = 42
+  end)");
+  GlobalConstants C(*P);
+  sym::RangeEnv Env;
+  C.bindAll(Env);
+  EXPECT_TRUE(sym::provablyLE(sym::SymExpr::var(P->findSymbol("n")),
+                              sym::SymExpr::constant(42), Env));
+  EXPECT_TRUE(sym::provablyLE(sym::SymExpr::constant(42),
+                              sym::SymExpr::var(P->findSymbol("n")), Env));
+}
+
+//===----------------------------------------------------------------------===//
+// Postpass
+//===----------------------------------------------------------------------===//
+
+TEST(Postpass, DirectivesInFrontOfParallelLoops) {
+  auto P = parseOrDie(R"(program t
+    integer i, n
+    real s
+    real x(100)
+    n = 100
+    init: do i = 1, n
+      x(i) = i * 1.0
+    end do
+    red: do i = 1, n
+      s = s + x(i)
+    end do
+  end)");
+  xform::PipelineResult R =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  std::string Out = xform::emitAnnotatedSource(*P, R);
+  EXPECT_NE(Out.find("!$iaa parallel do"), std::string::npos);
+  EXPECT_NE(Out.find("reduction(+:s)"), std::string::npos);
+}
+
+TEST(Postpass, SerialLoopsUnannotated) {
+  auto P = parseOrDie(R"(program t
+    integer i, n
+    real x(101)
+    n = 100
+    rec: do i = 1, n
+      x(i + 1) = x(i) * 0.5
+    end do
+  end)");
+  xform::PipelineResult R =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  std::string Out = xform::emitAnnotatedSource(*P, R);
+  EXPECT_EQ(Out.find("!$iaa"), std::string::npos);
+}
+
+TEST(Postpass, OutputReparses) {
+  auto P = parseOrDie(benchprogs::fig14Source());
+  xform::PipelineResult R =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  std::string Out = xform::emitAnnotatedSource(*P, R);
+  DiagnosticEngine Diags;
+  auto P2 = mf::parseProgram(Out, Diags);
+  EXPECT_NE(P2, nullptr) << Diags.str() << "\n" << Out;
+}
+
+TEST(Postpass, PrivateClauseListsPlanSymbols) {
+  auto P = parseOrDie(benchprogs::fig1aSource());
+  xform::PipelineResult R =
+      xform::parallelize(*P, xform::PipelineMode::Full);
+  std::string Out = xform::emitAnnotatedSource(*P, R);
+  // Fig. 1(a)'s dok loop privatizes x (the CW array) and the scalars.
+  size_t Dok = Out.find("dok: do");
+  ASSERT_NE(Dok, std::string::npos);
+  size_t Dir = Out.rfind("!$iaa", Dok);
+  ASSERT_NE(Dir, std::string::npos);
+  std::string Directive = Out.substr(Dir, Dok - Dir);
+  EXPECT_NE(Directive.find("x"), std::string::npos) << Directive;
+  EXPECT_NE(Directive.find("p"), std::string::npos) << Directive;
+}
+
+} // namespace

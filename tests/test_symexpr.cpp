@@ -1,0 +1,263 @@
+//===- tests/test_symexpr.cpp - Symbolic expression tests -----------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "symbolic/SymExpr.h"
+#include "symbolic/SymRange.h"
+
+using namespace iaa;
+using namespace iaa::sym;
+using iaa::test::parseOrDie;
+
+namespace {
+
+/// Fixture providing a program with a few symbols to build atoms from.
+class SymExprTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    P = parseOrDie(R"(program t
+      integer i, j, n, m, p, q
+      integer ind(100), len(100), off(101)
+      real x(100)
+      n = 1
+    end)");
+    I = P->findSymbol("i");
+    J = P->findSymbol("j");
+    N = P->findSymbol("n");
+    Ind = P->findSymbol("ind");
+    Len = P->findSymbol("len");
+  }
+
+  std::unique_ptr<mf::Program> P;
+  mf::Symbol *I, *J, *N, *Ind, *Len;
+};
+
+TEST_F(SymExprTest, ConstantArithmetic) {
+  SymExpr A = SymExpr::constant(3) + SymExpr::constant(4);
+  EXPECT_TRUE(A.isConstant());
+  EXPECT_EQ(A.constValue(), 7);
+  EXPECT_EQ((A * 2).constValue(), 14);
+  EXPECT_EQ((-A).constValue(), -7);
+}
+
+TEST_F(SymExprTest, LinearCombination) {
+  SymExpr E = SymExpr::var(I) * 2 + SymExpr::var(J) - SymExpr::var(I);
+  EXPECT_EQ(E.coeffOfVar(I), 1);
+  EXPECT_EQ(E.coeffOfVar(J), 1);
+  EXPECT_EQ(E.coeffOfVar(N), 0);
+  SymExpr Zero = E - SymExpr::var(I) - SymExpr::var(J);
+  EXPECT_TRUE(Zero.isZero());
+}
+
+TEST_F(SymExprTest, CancellationMakesZero) {
+  SymExpr A = SymExpr::var(I) + SymExpr::constant(1);
+  SymExpr B = SymExpr::constant(1) + SymExpr::var(I);
+  EXPECT_TRUE(A.equals(B));
+  EXPECT_TRUE((A - B).isZero());
+}
+
+TEST_F(SymExprTest, ArrayElemAtoms) {
+  SymExpr E1 = SymExpr::arrayElem(Ind, {SymExpr::var(I)});
+  SymExpr E2 = SymExpr::arrayElem(Ind, {SymExpr::var(I)});
+  SymExpr E3 = SymExpr::arrayElem(Ind, {SymExpr::var(J)});
+  EXPECT_TRUE(E1.equals(E2));
+  EXPECT_FALSE(E1.equals(E3));
+  EXPECT_TRUE((E1 - E2).isZero());
+}
+
+TEST_F(SymExprTest, NonLinearMulCanonicalizes) {
+  SymExpr A = SymExpr::mul(SymExpr::var(I), SymExpr::var(J));
+  SymExpr B = SymExpr::mul(SymExpr::var(J), SymExpr::var(I));
+  EXPECT_TRUE(A.equals(B)) << A.str() << " vs " << B.str();
+}
+
+TEST_F(SymExprTest, MulByConstantStaysLinear) {
+  SymExpr A = SymExpr::mul(SymExpr::var(I) + 1, SymExpr::constant(3));
+  EXPECT_EQ(A.coeffOfVar(I), 3);
+  EXPECT_EQ(A.constantTerm(), 3);
+}
+
+TEST_F(SymExprTest, DivExactlyDivisible) {
+  SymExpr A = SymExpr::div(SymExpr::var(I) * 4 + 8, SymExpr::constant(4));
+  EXPECT_EQ(A.coeffOfVar(I), 1);
+  EXPECT_EQ(A.constantTerm(), 2);
+}
+
+TEST_F(SymExprTest, DivNonDivisibleIsOpaque) {
+  SymExpr A = SymExpr::div(SymExpr::var(I), SymExpr::constant(2));
+  EXPECT_EQ(A.coeffOfVar(I), 0);
+  EXPECT_FALSE(A.isConstant());
+  EXPECT_TRUE(A.references(I));
+}
+
+TEST_F(SymExprTest, SubstituteScalar) {
+  SymExpr E = SymExpr::var(I) * 2 + SymExpr::var(J);
+  SymExpr S = E.substituteVar(I, SymExpr::var(N) + 1);
+  EXPECT_EQ(S.coeffOfVar(N), 2);
+  EXPECT_EQ(S.coeffOfVar(J), 1);
+  EXPECT_EQ(S.constantTerm(), 2);
+}
+
+TEST_F(SymExprTest, SubstituteInsideArraySubscript) {
+  SymExpr E = SymExpr::arrayElem(Ind, {SymExpr::var(I) + 1});
+  SymExpr S = E.substituteVar(I, SymExpr::constant(4));
+  SymExpr Expected = SymExpr::arrayElem(Ind, {SymExpr::constant(5)});
+  EXPECT_TRUE(S.equals(Expected)) << S.str();
+}
+
+TEST_F(SymExprTest, SubstituteCollapsesNonlinear) {
+  // i*(i-1) with i := 3 must fold to 6.
+  SymExpr E = SymExpr::mul(SymExpr::var(I), SymExpr::var(I) - 1);
+  SymExpr S = E.substituteVar(I, SymExpr::constant(3));
+  EXPECT_TRUE(S.isConstant());
+  EXPECT_EQ(S.constValue(), 6);
+}
+
+TEST_F(SymExprTest, FromAstLowering) {
+  auto Q = parseOrDie(R"(program t
+    integer i, n, a
+    integer ind(10)
+    a = ind(i) + 2 * n - 1
+  end)");
+  const auto *AS = cast<mf::AssignStmt>(Q->mainProcedure()->body()[0]);
+  SymExpr E = SymExpr::fromAst(AS->rhs());
+  EXPECT_EQ(E.constantTerm(), -1);
+  EXPECT_EQ(E.coeffOfVar(Q->findSymbol("n")), 2);
+  EXPECT_TRUE(E.references(Q->findSymbol("ind")));
+}
+
+TEST_F(SymExprTest, FromAstFoldsConstants) {
+  auto Q = parseOrDie(R"(program t
+    integer a
+    a = 2 * 3 + 10 / 2 - 1
+  end)");
+  const auto *AS = cast<mf::AssignStmt>(Q->mainProcedure()->body()[0]);
+  SymExpr E = SymExpr::fromAst(AS->rhs());
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constValue(), 10);
+}
+
+TEST_F(SymExprTest, MinMaxFolding) {
+  EXPECT_EQ(SymExpr::min(SymExpr::constant(3), SymExpr::constant(7))
+                .constValue(),
+            3);
+  EXPECT_EQ(SymExpr::max(SymExpr::constant(3), SymExpr::constant(7))
+                .constValue(),
+            7);
+  SymExpr V = SymExpr::var(I);
+  EXPECT_TRUE(SymExpr::min(V, V).equals(V));
+}
+
+TEST_F(SymExprTest, KeyIsCanonical) {
+  SymExpr A = SymExpr::var(I) + SymExpr::var(J) * 2 + 5;
+  SymExpr B = SymExpr::constant(5) + SymExpr::var(J) * 2 + SymExpr::var(I);
+  EXPECT_EQ(A.key(), B.key());
+}
+
+//===----------------------------------------------------------------------===//
+// Ranges and the prover
+//===----------------------------------------------------------------------===//
+
+TEST_F(SymExprTest, EvalConstRangeWithBoundVar) {
+  RangeEnv Env;
+  Env.bindVar(I, SymRange::of(SymExpr::constant(1), SymExpr::constant(10)));
+  ConstRange R = evalConstRange(SymExpr::var(I) * 2 + 1, Env);
+  ASSERT_TRUE(R.Lo && R.Hi);
+  EXPECT_EQ(*R.Lo, 3);
+  EXPECT_EQ(*R.Hi, 21);
+}
+
+TEST_F(SymExprTest, EvalConstRangeUnboundIsInfinite) {
+  RangeEnv Env;
+  ConstRange R = evalConstRange(SymExpr::var(I), Env);
+  EXPECT_FALSE(R.Lo);
+  EXPECT_FALSE(R.Hi);
+}
+
+TEST_F(SymExprTest, EvalConstRangeChainsThroughSymbolicBounds) {
+  // i in [1, n], n in [1, 100] -> i in [1, 100].
+  RangeEnv Env;
+  Env.bindVar(I, SymRange::of(SymExpr::constant(1), SymExpr::var(N)));
+  Env.bindVar(N, SymRange::of(SymExpr::constant(1), SymExpr::constant(100)));
+  ConstRange R = evalConstRange(SymExpr::var(I), Env);
+  ASSERT_TRUE(R.Lo && R.Hi);
+  EXPECT_EQ(*R.Lo, 1);
+  EXPECT_EQ(*R.Hi, 100);
+}
+
+TEST_F(SymExprTest, EvalConstRangeMod) {
+  RangeEnv Env;
+  SymExpr M = SymExpr::mod(SymExpr::var(I), SymExpr::constant(8));
+  Env.bindVar(I, SymRange::of(SymExpr::constant(0), SymExpr::constant(1000)));
+  ConstRange R = evalConstRange(M, Env);
+  ASSERT_TRUE(R.Lo && R.Hi);
+  EXPECT_EQ(*R.Lo, 0);
+  EXPECT_EQ(*R.Hi, 7);
+}
+
+TEST_F(SymExprTest, EvalConstRangeArrayValues) {
+  RangeEnv Env;
+  Env.bindArrayValues(Ind,
+                      SymRange::of(SymExpr::constant(1), SymExpr::constant(50)));
+  SymExpr E = SymExpr::arrayElem(Ind, {SymExpr::var(J)});
+  ConstRange R = evalConstRange(E, Env);
+  ASSERT_TRUE(R.Lo && R.Hi);
+  EXPECT_EQ(*R.Lo, 1);
+  EXPECT_EQ(*R.Hi, 50);
+}
+
+TEST_F(SymExprTest, ProvablyLE) {
+  RangeEnv Env;
+  Env.bindVar(I, SymRange::of(SymExpr::constant(1), SymExpr::var(N)));
+  // i <= n + 1 given i in [1, n]: (n+1) - i has range [1, ...] with the
+  // difference trick: n + 1 - i, i <= n  ->  >= 1.
+  SymExpr Lhs = SymExpr::var(I);
+  SymExpr Rhs = SymExpr::var(N) + 1;
+  // The difference n + 1 - i still mentions n and i separately; bind i's
+  // range in terms of n so the terms cancel.
+  EXPECT_TRUE(provablyLE(Lhs, Rhs, Env));
+  EXPECT_TRUE(provablyLT(Lhs, Rhs, Env));
+}
+
+TEST_F(SymExprTest, ProverIsSoundOnUnknowns) {
+  RangeEnv Env;
+  EXPECT_FALSE(provablyLE(SymExpr::var(I), SymExpr::var(J), Env));
+  EXPECT_FALSE(provablyLE(SymExpr::var(J), SymExpr::var(I), Env));
+  EXPECT_TRUE(provablyLE(SymExpr::var(I), SymExpr::var(I), Env));
+}
+
+TEST_F(SymExprTest, RangeOverVarAffine) {
+  SymExpr E = SymExpr::var(I) * 3 + SymExpr::var(N);
+  SymRange R = rangeOverVar(E, I, SymExpr::constant(1), SymExpr::constant(4));
+  ASSERT_TRUE(R.Lo.isFinite() && R.Hi.isFinite());
+  EXPECT_TRUE(R.Lo.E.equals(SymExpr::var(N) + 3));
+  EXPECT_TRUE(R.Hi.E.equals(SymExpr::var(N) + 12));
+}
+
+TEST_F(SymExprTest, RangeOverVarNegativeCoeff) {
+  SymExpr E = -SymExpr::var(I) + 10;
+  SymRange R = rangeOverVar(E, I, SymExpr::constant(1), SymExpr::constant(4));
+  ASSERT_TRUE(R.Lo.isFinite() && R.Hi.isFinite());
+  EXPECT_TRUE(R.Lo.E.equals(SymExpr::constant(6)));
+  EXPECT_TRUE(R.Hi.E.equals(SymExpr::constant(9)));
+}
+
+TEST_F(SymExprTest, RangeOverVarInsideSubscriptIsUnbounded) {
+  SymExpr E = SymExpr::arrayElem(Ind, {SymExpr::var(I)});
+  SymRange R = rangeOverVar(E, I, SymExpr::constant(1), SymExpr::constant(4));
+  EXPECT_TRUE(R.isUnbounded());
+}
+
+TEST_F(SymExprTest, RangeOverVarIndependent) {
+  SymExpr E = SymExpr::var(N) + 2;
+  SymRange R = rangeOverVar(E, I, SymExpr::constant(1), SymExpr::constant(4));
+  ASSERT_TRUE(R.Lo.isFinite());
+  EXPECT_TRUE(R.Lo.E.equals(R.Hi.E));
+}
+
+} // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bdfs.dir/bench_ablation_bdfs.cpp.o"
+  "CMakeFiles/bench_ablation_bdfs.dir/bench_ablation_bdfs.cpp.o.d"
+  "bench_ablation_bdfs"
+  "bench_ablation_bdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

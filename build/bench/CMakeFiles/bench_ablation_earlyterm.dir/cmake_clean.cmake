@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_earlyterm.dir/bench_ablation_earlyterm.cpp.o"
+  "CMakeFiles/bench_ablation_earlyterm.dir/bench_ablation_earlyterm.cpp.o.d"
+  "bench_ablation_earlyterm"
+  "bench_ablation_earlyterm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_earlyterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

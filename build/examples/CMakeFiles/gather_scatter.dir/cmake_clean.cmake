@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gather_scatter.dir/gather_scatter.cpp.o"
+  "CMakeFiles/gather_scatter.dir/gather_scatter.cpp.o.d"
+  "gather_scatter"
+  "gather_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gather_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpar.dir/mfpar.cpp.o"
+  "CMakeFiles/mfpar.dir/mfpar.cpp.o.d"
+  "mfpar"
+  "mfpar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_ccs.dir/sparse_ccs.cpp.o"
+  "CMakeFiles/sparse_ccs.dir/sparse_ccs.cpp.o.d"
+  "sparse_ccs"
+  "sparse_ccs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_ccs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

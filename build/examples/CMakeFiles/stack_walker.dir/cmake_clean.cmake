@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_walker.dir/stack_walker.cpp.o"
+  "CMakeFiles/stack_walker.dir/stack_walker.cpp.o.d"
+  "stack_walker"
+  "stack_walker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ArrayProperty.cpp" "src/CMakeFiles/iaa.dir/analysis/ArrayProperty.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/analysis/ArrayProperty.cpp.o.d"
+  "/root/repo/src/analysis/BoundedDfs.cpp" "src/CMakeFiles/iaa.dir/analysis/BoundedDfs.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/analysis/BoundedDfs.cpp.o.d"
+  "/root/repo/src/analysis/GatherLoop.cpp" "src/CMakeFiles/iaa.dir/analysis/GatherLoop.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/analysis/GatherLoop.cpp.o.d"
+  "/root/repo/src/analysis/GlobalConstants.cpp" "src/CMakeFiles/iaa.dir/analysis/GlobalConstants.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/analysis/GlobalConstants.cpp.o.d"
+  "/root/repo/src/analysis/PropertySolver.cpp" "src/CMakeFiles/iaa.dir/analysis/PropertySolver.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/analysis/PropertySolver.cpp.o.d"
+  "/root/repo/src/analysis/SingleIndex.cpp" "src/CMakeFiles/iaa.dir/analysis/SingleIndex.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/analysis/SingleIndex.cpp.o.d"
+  "/root/repo/src/analysis/SymbolUses.cpp" "src/CMakeFiles/iaa.dir/analysis/SymbolUses.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/analysis/SymbolUses.cpp.o.d"
+  "/root/repo/src/benchprogs/Benchmarks.cpp" "src/CMakeFiles/iaa.dir/benchprogs/Benchmarks.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/benchprogs/Benchmarks.cpp.o.d"
+  "/root/repo/src/cfg/FlatCfg.cpp" "src/CMakeFiles/iaa.dir/cfg/FlatCfg.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/cfg/FlatCfg.cpp.o.d"
+  "/root/repo/src/cfg/Hcg.cpp" "src/CMakeFiles/iaa.dir/cfg/Hcg.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/cfg/Hcg.cpp.o.d"
+  "/root/repo/src/deptest/DependenceTest.cpp" "src/CMakeFiles/iaa.dir/deptest/DependenceTest.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/deptest/DependenceTest.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/iaa.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/ThreadPool.cpp" "src/CMakeFiles/iaa.dir/interp/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/interp/ThreadPool.cpp.o.d"
+  "/root/repo/src/mf/Lexer.cpp" "src/CMakeFiles/iaa.dir/mf/Lexer.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/mf/Lexer.cpp.o.d"
+  "/root/repo/src/mf/Parser.cpp" "src/CMakeFiles/iaa.dir/mf/Parser.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/mf/Parser.cpp.o.d"
+  "/root/repo/src/mf/Program.cpp" "src/CMakeFiles/iaa.dir/mf/Program.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/mf/Program.cpp.o.d"
+  "/root/repo/src/section/Section.cpp" "src/CMakeFiles/iaa.dir/section/Section.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/section/Section.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/iaa.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/symbolic/SymExpr.cpp" "src/CMakeFiles/iaa.dir/symbolic/SymExpr.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/symbolic/SymExpr.cpp.o.d"
+  "/root/repo/src/symbolic/SymRange.cpp" "src/CMakeFiles/iaa.dir/symbolic/SymRange.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/symbolic/SymRange.cpp.o.d"
+  "/root/repo/src/xform/Parallelizer.cpp" "src/CMakeFiles/iaa.dir/xform/Parallelizer.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/xform/Parallelizer.cpp.o.d"
+  "/root/repo/src/xform/Passes.cpp" "src/CMakeFiles/iaa.dir/xform/Passes.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/xform/Passes.cpp.o.d"
+  "/root/repo/src/xform/Postpass.cpp" "src/CMakeFiles/iaa.dir/xform/Postpass.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/xform/Postpass.cpp.o.d"
+  "/root/repo/src/xform/Privatization.cpp" "src/CMakeFiles/iaa.dir/xform/Privatization.cpp.o" "gcc" "src/CMakeFiles/iaa.dir/xform/Privatization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

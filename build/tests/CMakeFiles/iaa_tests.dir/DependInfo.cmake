@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_benchmarks.cpp" "tests/CMakeFiles/iaa_tests.dir/test_benchmarks.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_benchmarks.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/iaa_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_deptest.cpp" "tests/CMakeFiles/iaa_tests.dir/test_deptest.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_deptest.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/iaa_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_interp_edge.cpp" "tests/CMakeFiles/iaa_tests.dir/test_interp_edge.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_interp_edge.cpp.o.d"
+  "/root/repo/tests/test_monotonic.cpp" "tests/CMakeFiles/iaa_tests.dir/test_monotonic.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_monotonic.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/iaa_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_passes_edge.cpp" "tests/CMakeFiles/iaa_tests.dir/test_passes_edge.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_passes_edge.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/iaa_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_privatization.cpp" "tests/CMakeFiles/iaa_tests.dir/test_privatization.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_privatization.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/iaa_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_property_edge.cpp" "tests/CMakeFiles/iaa_tests.dir/test_property_edge.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_property_edge.cpp.o.d"
+  "/root/repo/tests/test_prover_props.cpp" "tests/CMakeFiles/iaa_tests.dir/test_prover_props.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_prover_props.cpp.o.d"
+  "/root/repo/tests/test_section.cpp" "tests/CMakeFiles/iaa_tests.dir/test_section.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_section.cpp.o.d"
+  "/root/repo/tests/test_section_props.cpp" "tests/CMakeFiles/iaa_tests.dir/test_section_props.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_section_props.cpp.o.d"
+  "/root/repo/tests/test_singleindex.cpp" "tests/CMakeFiles/iaa_tests.dir/test_singleindex.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_singleindex.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/iaa_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_symboluses.cpp" "tests/CMakeFiles/iaa_tests.dir/test_symboluses.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_symboluses.cpp.o.d"
+  "/root/repo/tests/test_symexpr.cpp" "tests/CMakeFiles/iaa_tests.dir/test_symexpr.cpp.o" "gcc" "tests/CMakeFiles/iaa_tests.dir/test_symexpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iaa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

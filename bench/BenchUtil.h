@@ -20,12 +20,16 @@
 #include "benchprogs/Benchmarks.h"
 #include "interp/Interpreter.h"
 #include "mf/Parser.h"
+#include "support/Json.h"
 #include "xform/Parallelizer.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace iaa {
 namespace bench {
@@ -80,6 +84,49 @@ inline double benchScale() {
     return std::atof(Env);
   return 1.0;
 }
+
+/// Machine-readable mirror of a bench's printed table. Rows accumulate as
+/// ordered (key, encoded-value) pairs — values must already be JSON-encoded
+/// (json::str / json::num, or the literals true/false) — and write() emits
+///
+///   {"bench": "<name>", "rows": [{...}, ...]}
+///
+/// to BENCH_<name>.json in the working directory, so plots and CI checks
+/// can consume the same numbers the text table shows.
+class JsonReport {
+public:
+  explicit JsonReport(std::string Name) : Name(std::move(Name)) {}
+
+  void row(const std::vector<std::pair<std::string, std::string>> &Fields) {
+    std::string R = "{";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        R += ", ";
+      R += json::str(Fields[I].first) + ": " + Fields[I].second;
+    }
+    Rows.push_back(R + "}");
+  }
+
+  /// Writes the report; prints the destination (or a warning on failure).
+  void write() const {
+    std::string Path = "BENCH_" + Name + ".json";
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    Out << "{\"bench\": " << json::str(Name) << ", \"rows\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I)
+      Out << "  " << Rows[I] << (I + 1 < Rows.size() ? ",\n" : "\n");
+    Out << "]}\n";
+    std::printf("bench JSON written to %s (%zu rows)\n", Path.c_str(),
+                Rows.size());
+  }
+
+private:
+  std::string Name;
+  std::vector<std::string> Rows;
+};
 
 } // namespace bench
 } // namespace iaa

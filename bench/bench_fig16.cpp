@@ -56,7 +56,8 @@ double runSimStable(const Compiled &C, unsigned Threads,
   return Best;
 }
 
-void printSeries(const benchprogs::BenchmarkProgram &B,
+void printSeries(JsonReport &Report, const std::string &Panel,
+                 const benchprogs::BenchmarkProgram &B,
                  const std::vector<unsigned> &ThreadCounts,
                  bool Unguarded = false) {
   static const xform::PipelineMode Modes[] = {xform::PipelineMode::Full,
@@ -76,6 +77,12 @@ void printSeries(const benchprogs::BenchmarkProgram &B,
     for (unsigned T : ThreadCounts) {
       double Secs = T == 1 ? Serial : runSimStable(C, T, Unguarded);
       std::printf(" %6.2f", Serial / Secs);
+      Report.row({{"panel", json::str(Panel)},
+                  {"program", json::str(B.Name)},
+                  {"config", json::str(xform::pipelineModeName(Mode))},
+                  {"threads", json::num(T)},
+                  {"seconds", json::num(Secs)},
+                  {"speedup", json::num(Serial / Secs)}});
     }
     std::printf("\n");
   }
@@ -86,25 +93,28 @@ void printFig16() {
               "speedup vs 1 processor) ===\n\n");
   double Scale = benchScale();
   std::vector<unsigned> Threads = {1, 2, 4, 8, 16, 32};
+  JsonReport Report("fig16");
 
   // Panels (a)-(d): TRFD, BDNA, P3M, TREE.
   for (auto &B : {benchprogs::trfd(Scale), benchprogs::bdna(Scale),
                   benchprogs::p3m(Scale), benchprogs::tree(Scale)})
-    printSeries(B, Threads);
+    printSeries(Report, "a-d", B, Threads);
 
   // Panel (b)-analog: DYFESM with the normal input.
-  printSeries(benchprogs::dyfesm(Scale), Threads);
+  printSeries(Report, "a-d", benchprogs::dyfesm(Scale), Threads);
 
   // Panel (e): DYFESM with a tiny input — parallelization overhead wins.
   // Polaris-generated code had no per-loop profitability guard; the tiny
   // input exposes the raw fork/join overhead (hence speedups below one).
   std::printf("DYFESM-tiny (Fig. 16(e): tiny input, overhead dominates)\n");
-  printSeries(benchprogs::dyfesmTiny(), Threads, /*Unguarded=*/true);
+  printSeries(Report, "e", benchprogs::dyfesmTiny(), Threads,
+              /*Unguarded=*/true);
 
   // Panel (f): DYFESM restricted to a 4-processor machine.
   std::printf("DYFESM-4p (Fig. 16(f): small machine)\n");
-  printSeries(benchprogs::dyfesm(Scale), {1, 2, 4});
+  printSeries(Report, "f", benchprogs::dyfesm(Scale), {1, 2, 4});
 
+  Report.write();
   std::printf("\nPaper reference: with IAA the irregular loops parallelize "
               "and BDNA/P3M/TREE speed up significantly, TRFD improves from "
               "five to six at 16 processors; without IAA (and under APO) "

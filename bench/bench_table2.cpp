@@ -16,6 +16,8 @@
 
 #include "BenchUtil.h"
 
+#include "support/Trace.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace iaa;
@@ -29,6 +31,7 @@ void printTable2() {
   std::printf("%-8s %6s %12s %12s %16s %8s\n", "Program", "Lines",
               "SeqExec(s)", "Pipeline(s)", "PropAnalysis(s)", "Share");
   double Scale = benchScale();
+  JsonReport Report("table2");
   for (const benchprogs::BenchmarkProgram &B :
        benchprogs::allBenchmarks(Scale)) {
     // Compile repeatedly for a stable timing (the pipeline is fast).
@@ -46,10 +49,30 @@ void printTable2() {
     interp::ExecStats Stats;
     double SeqSecs = execute(C, /*Threads=*/1, &Stats);
 
+    // The same serial run with span collection switched on: the disabled
+    // path costs one relaxed load per instrumentation site, so the two
+    // timings should agree to noise (recorded in the JSON as evidence).
+    trace::enable(true);
+    interp::ExecStats TracedStats;
+    double TracedSecs = execute(C, /*Threads=*/1, &TracedStats);
+    trace::enable(false);
+    size_t TraceEvents = trace::eventCount();
+    trace::clear();
+
     std::printf("%-8s %6u %12.3f %12.5f %16.5f %7.1f%%\n", B.Name.c_str(),
                 B.lineCount(), SeqSecs, PipelineSecs, PropSecs,
                 100.0 * PropSecs / PipelineSecs);
+    Report.row({{"program", json::str(B.Name)},
+                {"lines", json::num(B.lineCount())},
+                {"seq_exec_s", json::num(SeqSecs)},
+                {"seq_exec_traced_s", json::num(TracedSecs)},
+                {"trace_events", json::num(static_cast<double>(TraceEvents))},
+                {"pipeline_s", json::num(PipelineSecs)},
+                {"prop_analysis_s", json::num(PropSecs)},
+                {"prop_share_pct",
+                 json::num(100.0 * PropSecs / PipelineSecs)}});
   }
+  Report.write();
   std::printf("\nPaper reference (Table 2): property analysis was 4.5%% "
               "(TRFD) to 10.9%% (P3M) of compilation time.\n\n");
 }

@@ -46,6 +46,7 @@ void printTable3() {
               "Parallel", "Array:property", "Test", "%seq",
               "%par-if-serial(8)");
   double Scale = benchScale();
+  JsonReport Report("table3");
   for (const benchprogs::BenchmarkProgram &B :
        benchprogs::allBenchmarks(Scale)) {
     Compiled C = compile(B, xform::PipelineMode::Full);
@@ -102,8 +103,16 @@ void printTable3() {
                   B.Name.c_str(), Label.c_str(),
                   Rep->Parallel ? "yes" : "no", Props.c_str(), Test.c_str(),
                   SeqShare, ParShare);
+      Report.row({{"program", json::str(B.Name)},
+                  {"loop", json::str(Label)},
+                  {"parallel", Rep->Parallel ? "true" : "false"},
+                  {"properties", json::str(Props)},
+                  {"test", json::str(Test)},
+                  {"seq_share_pct", json::num(SeqShare)},
+                  {"par_if_serial_pct", json::num(ParShare)}});
     }
   }
+  Report.write();
   std::printf("\nPaper reference (Table 3): TRFD do140 x:CFV DD 5%%; DYFESM "
               "SOLXDD loops pptr:CFD,iblen:CFB DD 20%%; BDNA do240 ind:CFB "
               "PRIV 32%%; P3M do100 jpr:CFB PRIV 74%%; TREE do10 "

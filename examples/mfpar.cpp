@@ -8,11 +8,15 @@
 // mfpar: a small driver exposing the whole toolchain on MF source files.
 //
 //   mfpar FILE.mf [--mode=full|noiaa|apo] [--run[=THREADS]] [--dump]
+//         [--stats] [--trace=out.json] [--remarks=out.jsonl]
 //
 //   --mode     pipeline configuration (default full)
 //   --run      execute the program (optionally in parallel with N threads)
 //   --dump     print the normalized program after the transformation passes
 //   --annotate print the program with !$iaa parallel do directives
+//   --stats    print the statistic counters and per-phase timings
+//   --trace    write a Chrome trace-event JSON file (chrome://tracing)
+//   --remarks  write optimization remarks as JSONL, one record per loop
 //
 // With no file argument it analyzes the paper's Fig. 1(a) example.
 //
@@ -21,6 +25,9 @@
 #include "benchprogs/Benchmarks.h"
 #include "interp/Interpreter.h"
 #include "mf/Parser.h"
+#include "support/Remarks.h"
+#include "support/Statistic.h"
+#include "support/Trace.h"
 #include "xform/Parallelizer.h"
 #include "xform/Postpass.h"
 
@@ -35,7 +42,8 @@ using namespace iaa;
 static int usage() {
   std::fprintf(stderr,
                "usage: mfpar [FILE.mf] [--mode=full|noiaa|apo] "
-               "[--run[=THREADS]] [--dump] [--annotate]\n");
+               "[--run[=THREADS]] [--dump] [--annotate] [--stats] "
+               "[--trace=FILE] [--remarks=FILE]\n");
   return 2;
 }
 
@@ -46,6 +54,9 @@ int main(int argc, char **argv) {
   unsigned Threads = 4;
   bool Dump = false;
   bool Annotate = false;
+  bool Stats = false;
+  std::string TracePath;
+  std::string RemarksPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -70,6 +81,16 @@ int main(int argc, char **argv) {
       Dump = true;
     } else if (Arg == "--annotate") {
       Annotate = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty())
+        return usage();
+    } else if (Arg.rfind("--remarks=", 0) == 0) {
+      RemarksPath = Arg.substr(10);
+      if (RemarksPath.empty())
+        return usage();
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage();
     } else {
@@ -91,6 +112,9 @@ int main(int argc, char **argv) {
     Buf << In.rdbuf();
     Source = Buf.str();
   }
+
+  if (!TracePath.empty())
+    trace::enable(true);
 
   DiagnosticEngine Diags;
   std::unique_ptr<mf::Program> P = mf::parseProgram(Source, Diags);
@@ -139,6 +163,36 @@ int main(int argc, char **argv) {
                         Parallel.checksumExcluding(Dead)
                     ? "matches serial"
                     : "DIVERGES");
+  }
+
+  if (!RemarksPath.empty()) {
+    std::printf("\n--- optimization remarks ---\n%s",
+                remarksText(R.Remarks).c_str());
+    std::ofstream Out(RemarksPath);
+    if (!Out) {
+      std::fprintf(stderr, "mfpar: cannot write %s\n", RemarksPath.c_str());
+      return 1;
+    }
+    Out << remarksJsonl(R.Remarks);
+    std::printf("remarks written to %s (%zu records)\n", RemarksPath.c_str(),
+                R.Remarks.size());
+  }
+
+  if (Stats) {
+    std::printf("\n--- phase timings ---\n");
+    for (const auto &[Phase, Secs] : R.PhaseSeconds)
+      std::printf("%10.3f ms  %s\n", Secs * 1e3, Phase.c_str());
+    std::printf("\n--- statistics ---\n%s", stat::table(true).c_str());
+  }
+
+  if (!TracePath.empty()) {
+    if (!trace::writeJson(TracePath)) {
+      std::fprintf(stderr, "mfpar: cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+    std::printf("\ntrace written to %s (%zu events); load it in "
+                "chrome://tracing or https://ui.perfetto.dev\n",
+                TracePath.c_str(), trace::eventCount());
   }
   return 0;
 }

@@ -7,16 +7,27 @@
 
 #include "analysis/BoundedDfs.h"
 
+#include "support/Statistic.h"
+#include "support/Trace.h"
+
 #include <vector>
 
 using namespace iaa;
 using namespace iaa::analysis;
 using namespace iaa::cfg;
 
+#define IAA_STAT_GROUP "bdfs"
+IAA_STAT(bdfs_searches, "Bounded DFS invocations");
+IAA_STAT(bdfs_nodes_visited, "Nodes visited by the bounded DFS");
+IAA_STAT(bdfs_early_terminations, "Bounded DFS runs ended by a jailed node");
+
 bool iaa::analysis::boundedDfs(const FlatCfg &G, unsigned Start,
                                const std::function<bool(unsigned)> &FBound,
                                const std::function<bool(unsigned)> &FJailed,
                                BdfsStats *Stats) {
+  trace::TraceScope Span("bdfs", "analysis");
+  ++bdfs_searches;
+  unsigned Nodes = 0;
   std::vector<bool> Visited(G.size(), false);
   std::vector<unsigned> Stack;
 
@@ -28,18 +39,26 @@ bool iaa::analysis::boundedDfs(const FlatCfg &G, unsigned Start,
   while (!Stack.empty()) {
     unsigned U = Stack.back();
     Stack.pop_back();
+    ++Nodes;
     if (Stats)
       ++Stats->NodesVisited;
     if (FBound(U))
       continue; // Boundary: do not expand U's successors.
     for (unsigned V : G.node(U).Succs) {
-      if (FJailed(V))
-        return false; // Early termination: the whole bDFS fails.
+      if (FJailed(V)) {
+        // Early termination: the whole bDFS fails.
+        bdfs_nodes_visited += Nodes;
+        ++bdfs_early_terminations;
+        Span.arg("verdict", "jailed");
+        return false;
+      }
       if (!Visited[V]) {
         Visited[V] = true;
         Stack.push_back(V);
       }
     }
   }
+  bdfs_nodes_visited += Nodes;
+  Span.arg("verdict", "completed");
   return true;
 }

@@ -7,6 +7,9 @@
 
 #include "analysis/PropertySolver.h"
 
+#include "support/Statistic.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <map>
 #include <queue>
@@ -53,6 +56,14 @@ bool sectionReferences(const Section &S, const Symbol *Sym) {
 }
 
 } // namespace
+
+#define IAA_STAT_GROUP "property"
+IAA_STAT(prop_queries, "Demand-driven property queries issued");
+IAA_STAT(prop_queries_verified, "Property queries answered true");
+IAA_STAT(prop_queries_killed_early, "Property queries ended by a kill");
+IAA_STAT(prop_nodes_visited, "HCG nodes visited by query propagation");
+IAA_STAT(prop_queries_split, "Query splits at procedure heads (Fig. 12)");
+IAA_STAT(prop_loops_summarized, "Loop bodies summarized (Sec. 3.2.5)");
 
 RangeEnv PropertySolver::envOfSection(HcgSection *Sec) const {
   RangeEnv Env;
@@ -109,12 +120,23 @@ PropertyResult PropertySolver::verifyBefore(const Stmt *At,
   std::optional<TimeRegion> Timing;
   if (Timer)
     Timing.emplace(*Timer);
+  trace::TraceScope Span("property-query", "property");
+  if (Span.active()) {
+    Span.arg("property", propertyKindName(C.kind()));
+    if (C.targetArray())
+      Span.arg("array", C.targetArray()->name());
+  }
+  ++prop_queries;
   PropertyResult R;
   HcgNode *N = G.nodeFor(At);
-  if (!N || S.isUniverse())
+  if (!N || S.isUniverse()) {
+    Span.arg("verdict", "unverified");
     return R;
+  }
   if (S.isEmpty()) {
     R.Verified = true;
+    ++prop_queries_verified;
+    Span.arg("verdict", "verified");
     return R;
   }
   InitList Init;
@@ -129,6 +151,20 @@ PropertyResult PropertySolver::verifyBefore(const Stmt *At,
     for (const Symbol *Dep : Deps.Reads)
       if (R.PathWrites.writes(Dep))
         R.Verified = false;
+  }
+
+  prop_nodes_visited += R.NodesVisited;
+  prop_queries_split += R.QueriesSplit;
+  prop_loops_summarized += R.LoopsSummarized;
+  if (R.Verified)
+    ++prop_queries_verified;
+  if (R.KilledEarly)
+    ++prop_queries_killed_early;
+  if (Span.active()) {
+    Span.arg("verdict", R.Verified      ? "verified"
+                        : R.KilledEarly ? "killed-early"
+                                        : "unverified");
+    Span.arg("nodes", std::to_string(R.NodesVisited));
   }
   return R;
 }

@@ -7,6 +7,8 @@
 
 #include "deptest/DependenceTest.h"
 
+#include "support/Statistic.h"
+#include "support/Trace.h"
 #include "symbolic/SymExpr.h"
 
 #include <map>
@@ -18,6 +20,37 @@ using namespace iaa::cfg;
 using namespace iaa::mf;
 using namespace iaa::sec;
 using namespace iaa::sym;
+
+#define IAA_STAT_GROUP "deptest"
+IAA_STAT(deptest_loops_tested, "Loops run through the dependence tester");
+IAA_STAT(deptest_arrays_tested, "Per-array dependence tests performed");
+IAA_STAT(deptest_distinct_dim, "Arrays disproved by the distinct-dimension test");
+IAA_STAT(deptest_range, "Arrays disproved by the symbolic range test");
+IAA_STAT(deptest_offset_length, "Arrays disproved by the offset-length test");
+IAA_STAT(deptest_injective, "Arrays disproved by the injective test");
+IAA_STAT(deptest_dependent, "Arrays left dependent (no test succeeded)");
+IAA_STAT(prop_cache_hits, "Verified-property memo hits (CFD/CFB facts)");
+IAA_STAT(prop_cache_misses, "Verified-property memo misses (CFD/CFB facts)");
+
+namespace {
+
+/// Per-kind outcome counters feeding the statistics registry.
+void countOutcome(const ArrayDepOutcome &O) {
+  ++deptest_arrays_tested;
+  if (!O.Independent) {
+    ++deptest_dependent;
+    return;
+  }
+  switch (O.Test) {
+  case TestKind::None:         break;
+  case TestKind::DistinctDim:  ++deptest_distinct_dim; break;
+  case TestKind::RangeTest:    ++deptest_range; break;
+  case TestKind::OffsetLength: ++deptest_offset_length; break;
+  case TestKind::Injective:    ++deptest_injective; break;
+  }
+}
+
+} // namespace
 
 const char *iaa::deptest::testKindName(TestKind K) {
   switch (K) {
@@ -74,6 +107,10 @@ SymExpr replaceAtom(const SymExpr &E, const std::string &Key,
 LoopDepResult
 DependenceTester::testLoop(const DoStmt *L,
                            const std::set<const Symbol *> &Privatized) {
+  trace::TraceScope Span("dep-test", "deptest");
+  if (Span.active() && !L->label().empty())
+    Span.arg("loop", L->label());
+  ++deptest_loops_tested;
   LoopDepResult R;
 
   // Gather all accesses grouped by array, with their inner-loop context.
@@ -174,6 +211,7 @@ DependenceTester::testLoop(const DoStmt *L,
     } else {
       O = testArray(L, X, Accs, R);
     }
+    countOutcome(O);
     R.Independent &= O.Independent;
     R.Arrays.push_back(std::move(O));
   }
@@ -184,9 +222,11 @@ DependenceTester::testLoop(const DoStmt *L,
     O.Array = X;
     O.Independent = false;
     O.Detail = "accessed inside a call or while loop";
+    countOutcome(O);
     R.Independent = false;
     R.Arrays.push_back(std::move(O));
   }
+  Span.arg("independent", R.Independent ? "yes" : "no");
   return R;
 }
 
@@ -194,8 +234,11 @@ const DependenceTester::CfdFact &
 DependenceTester::verifiedDistance(const DoStmt *L, const Symbol *Ptr,
                                    LoopDepResult &R) {
   auto [It, Inserted] = CfdCache.try_emplace(PropKey{Ptr, L});
-  if (!Inserted)
+  if (!Inserted) {
+    ++prop_cache_hits;
     return It->second;
+  }
+  ++prop_cache_misses;
   auto Dist = ClosedFormDistanceChecker::discoverDistance(G.program(), Ptr);
   if (!Dist)
     return It->second;
@@ -214,8 +257,11 @@ const DependenceTester::CfbFact &
 DependenceTester::verifiedBounds(const DoStmt *L, const Symbol *Y,
                                  LoopDepResult &R) {
   auto [It, Inserted] = CfbCache.try_emplace(PropKey{Y, L});
-  if (!Inserted)
+  if (!Inserted) {
+    ++prop_cache_hits;
     return It->second;
+  }
+  ++prop_cache_misses;
   ClosedFormBoundChecker CFB(Y, Uses);
   Section S = Section::interval(SymExpr::fromAst(L->lower()),
                                 SymExpr::fromAst(L->upper()) - 1);

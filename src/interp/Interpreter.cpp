@@ -9,7 +9,9 @@
 
 #include "analysis/GlobalConstants.h"
 #include "interp/ThreadPool.h"
+#include "support/Statistic.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -19,6 +21,11 @@
 using namespace iaa;
 using namespace iaa::interp;
 using namespace iaa::mf;
+
+#define IAA_STAT_GROUP "interp"
+IAA_STAT(interp_runs, "Interpreter runs");
+IAA_STAT(interp_parallel_loop_runs, "Loop invocations executed in parallel");
+IAA_STAT(interp_chunks_run, "Iteration chunks executed by parallel loops");
 
 namespace {
 
@@ -410,9 +417,14 @@ private:
     // --- Parallel execution.
     if (Stats)
       ++Stats->ParallelLoopRuns;
+    ++interp_parallel_loop_runs;
     unsigned T = Opts.Threads;
     if (static_cast<int64_t>(T) > NIter)
       T = static_cast<unsigned>(NIter);
+
+    trace::TraceScope ParSpan("parallel-loop", "interp");
+    ParSpan.arg("loop", DS->label().empty() ? "<unlabeled>" : DS->label());
+    ParSpan.arg("threads", std::to_string(T));
 
     std::vector<std::unordered_map<unsigned, Buffer>> Overrides(T);
     auto BuildPrivates = [&](unsigned W) {
@@ -435,9 +447,13 @@ private:
       }
     };
 
-    // Contiguous chunks.
+    // Contiguous chunks. Each worker writes only its own ChunkSecs slot, so
+    // the threaded path needs no synchronization.
     int64_t Chunk = (NIter + T - 1) / T;
+    std::vector<double> ChunkSecs(T, 0.0);
     auto RunChunk = [&](unsigned W) {
+      trace::TraceScope ChunkSpan("chunk", "interp");
+      Timer CT;
       int64_t First = Lo + static_cast<int64_t>(W) * Chunk;
       int64_t Last = std::min(Up, First + Chunk - 1);
       Frame FW;
@@ -446,6 +462,12 @@ private:
       for (int64_t I = First; I <= Last; ++I) {
         setScalar(DS->indexVar(), I, FW);
         execBody(DS->body(), FW);
+      }
+      ChunkSecs[W] = CT.seconds();
+      if (ChunkSpan.active()) {
+        ChunkSpan.arg("worker", std::to_string(W));
+        ChunkSpan.arg("first", std::to_string(First));
+        ChunkSpan.arg("last", std::to_string(Last));
       }
     };
 
@@ -468,6 +490,14 @@ private:
       for (unsigned W = 0; W < T; ++W)
         BuildPrivates(W);
       forkJoin(T, RunChunk);
+    }
+    interp_chunks_run += T;
+    if (Stats) {
+      Stats->ChunksRun += T;
+      for (double Secs : ChunkSecs) {
+        Stats->ChunkSecondsSum += Secs;
+        Stats->ChunkSecondsMax = std::max(Stats->ChunkSecondsMax, Secs);
+      }
     }
 
     // Merge reductions: global += sum of partials.
@@ -560,6 +590,10 @@ private:
 } // namespace
 
 Memory Interpreter::run(const ExecOptions &Opts, ExecStats *Stats) {
+  trace::TraceScope Span("interp-run", "interp");
+  Span.arg("threads", std::to_string(Opts.Threads));
+  Span.arg("mode", Opts.Simulate ? "simulate" : "threaded");
+  ++interp_runs;
   Memory Mem(Prog);
   Timer Total;
   Exec E(Prog, Mem, Opts, Stats);

@@ -111,6 +111,13 @@ struct ExecStats {
   double WallSeconds = 0;
   /// Number of loop invocations executed in parallel.
   unsigned ParallelLoopRuns = 0;
+  /// Number of iteration chunks executed by parallel loops.
+  unsigned ChunksRun = 0;
+  /// Sum and max of per-chunk body seconds, over every parallel loop
+  /// invocation. max * ChunksRun / sum ≈ 1 means balanced work; larger
+  /// values expose imbalance (also visible per-chunk in the trace).
+  double ChunkSecondsSum = 0;
+  double ChunkSecondsMax = 0;
 };
 
 /// Runs \p P (starting at "main") against fresh memory; returns the final

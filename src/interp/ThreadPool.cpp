@@ -7,6 +7,9 @@
 
 #include "interp/ThreadPool.h"
 
+#include "support/Trace.h"
+
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +21,8 @@ void iaa::interp::forkJoin(unsigned Workers,
     Fn(0);
     return;
   }
+  trace::TraceScope Span("fork-join", "interp");
+  Span.arg("workers", std::to_string(Workers));
   std::vector<std::thread> Threads;
   Threads.reserve(Workers - 1);
   for (unsigned W = 1; W < Workers; ++W)

@@ -8,6 +8,8 @@
 #include "mf/Parser.h"
 
 #include "mf/Lexer.h"
+#include "support/Statistic.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -15,13 +17,34 @@ using namespace iaa;
 using namespace iaa::mf;
 using namespace iaa::mf::detail;
 
+#define IAA_STAT_GROUP "frontend"
+IAA_STAT(lex_tokens, "Tokens produced by the lexer");
+IAA_STAT(parse_programs, "Programs parsed");
+IAA_STAT(parse_stmts, "Statements parsed");
+
 std::unique_ptr<Program> iaa::mf::parseProgram(const std::string &Source,
                                                DiagnosticEngine &Diags) {
-  Lexer Lex(Source, Diags);
-  Parser P(Lex.lexAll(), Diags);
-  std::unique_ptr<Program> Prog = P.parse();
+  trace::TraceScope Span("parse-program", "frontend");
+  std::vector<Token> Tokens;
+  {
+    trace::TraceScope LexSpan("lex", "frontend");
+    Lexer Lex(Source, Diags);
+    Tokens = Lex.lexAll();
+    lex_tokens += Tokens.size();
+  }
+  std::unique_ptr<Program> Prog;
+  {
+    trace::TraceScope ParseSpan("parse", "frontend");
+    Parser P(std::move(Tokens), Diags);
+    Prog = P.parse();
+  }
   if (Diags.hasErrors())
     return nullptr;
+  if (Prog) {
+    ++parse_programs;
+    parse_stmts += Prog->numStmts();
+    Span.arg("stmts", std::to_string(Prog->numStmts()));
+  }
   return Prog;
 }
 

@@ -1,0 +1,260 @@
+//===- support/Json.cpp - Minimal JSON writing and parsing ----------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace iaa;
+using namespace iaa::json;
+
+std::string iaa::json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string iaa::json::num(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  if (V == static_cast<double>(static_cast<long long>(V)) &&
+      std::abs(V) < 1e15)
+    return std::to_string(static_cast<long long>(V));
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  std::optional<Value> parseDocument() {
+    std::optional<Value> V = parseValue();
+    if (!V)
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return std::nullopt; // Trailing garbage.
+    return V;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"'))
+      return std::nullopt;
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return std::nullopt; // Raw control character.
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return std::nullopt;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':  Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/':  Out += '/'; break;
+      case 'b':  Out += '\b'; break;
+      case 'f':  Out += '\f'; break;
+      case 'n':  Out += '\n'; break;
+      case 'r':  Out += '\r'; break;
+      case 't':  Out += '\t'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return std::nullopt;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return std::nullopt;
+        }
+        // The emitters only produce \u escapes for ASCII control bytes, so
+        // a one-byte decode suffices; other code points pass through UTF-8
+        // unescaped.
+        Out += static_cast<char>(Code & 0xFF);
+        break;
+      }
+      default:
+        return std::nullopt;
+      }
+    }
+    return std::nullopt; // Unterminated.
+  }
+
+  std::optional<Value> parseValue() {
+    skipWs();
+    if (Pos >= Text.size())
+      return std::nullopt;
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      Value V;
+      V.K = Value::Kind::String;
+      V.S = std::move(*S);
+      return V;
+    }
+    if (literal("true")) {
+      Value V;
+      V.K = Value::Kind::Bool;
+      V.B = true;
+      return V;
+    }
+    if (literal("false")) {
+      Value V;
+      V.K = Value::Kind::Bool;
+      return V;
+    }
+    if (literal("null"))
+      return Value{};
+    return parseNumber();
+  }
+
+  std::optional<Value> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    size_t Digits = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Digits)
+      return std::nullopt;
+    char *End = nullptr;
+    std::string Num = Text.substr(Start, Pos - Start);
+    double D = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return std::nullopt;
+    Value V;
+    V.K = Value::Kind::Number;
+    V.N = D;
+    return V;
+  }
+
+  std::optional<Value> parseArray() {
+    if (!consume('['))
+      return std::nullopt;
+    Value V;
+    V.K = Value::Kind::Array;
+    skipWs();
+    if (consume(']'))
+      return V;
+    while (true) {
+      std::optional<Value> Elem = parseValue();
+      if (!Elem)
+        return std::nullopt;
+      V.Elems.push_back(std::move(*Elem));
+      if (consume(']'))
+        return V;
+      if (!consume(','))
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parseObject() {
+    if (!consume('{'))
+      return std::nullopt;
+    Value V;
+    V.K = Value::Kind::Object;
+    skipWs();
+    if (consume('}'))
+      return V;
+    while (true) {
+      skipWs();
+      std::optional<std::string> Key = parseString();
+      if (!Key || !consume(':'))
+        return std::nullopt;
+      std::optional<Value> Member = parseValue();
+      if (!Member)
+        return std::nullopt;
+      V.Members[*Key] = std::move(*Member);
+      if (consume('}'))
+        return V;
+      if (!consume(','))
+        return std::nullopt;
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<Value> iaa::json::parse(const std::string &Text) {
+  return Parser(Text).parseDocument();
+}

@@ -1,0 +1,72 @@
+//===- support/Json.h - Minimal JSON writing and parsing --------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON layer for the observability outputs (trace
+/// events, optimization remarks, statistics, bench results): string escaping
+/// and number formatting for writers, and a strict recursive-descent parser
+/// used by the tests to validate that emitted documents are well-formed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SUPPORT_JSON_H
+#define IAA_SUPPORT_JSON_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace json {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string escape(const std::string &S);
+
+/// Quotes and escapes \p S as a JSON string literal.
+inline std::string str(const std::string &S) {
+  return "\"" + escape(S) + "\"";
+}
+
+/// Formats \p V as a JSON number. NaN and infinities are not representable
+/// in JSON and are emitted as 0.
+std::string num(double V);
+
+/// A parsed JSON value (null, bool, number, string, array, or object).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<Value> Elems;
+  std::map<std::string, Value> Members;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  /// Member lookup; null when absent or not an object.
+  const Value *member(const std::string &Name) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Members.find(Name);
+    return It == Members.end() ? nullptr : &It->second;
+  }
+};
+
+/// Parses \p Text as one JSON document; std::nullopt on any syntax error or
+/// trailing garbage.
+std::optional<Value> parse(const std::string &Text);
+
+} // namespace json
+} // namespace iaa
+
+#endif // IAA_SUPPORT_JSON_H

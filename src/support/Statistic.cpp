@@ -1,0 +1,85 @@
+//===- support/Statistic.cpp - Named global counters ----------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <mutex>
+
+using namespace iaa;
+using namespace iaa::stat;
+
+namespace {
+
+/// Function-local statics sidestep static-initialization-order issues:
+/// Statistic constructors run during static init of arbitrary TUs.
+std::vector<Statistic *> &registry() {
+  static std::vector<Statistic *> R;
+  return R;
+}
+
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+} // namespace
+
+Statistic::Statistic(const char *Group, const char *Name, const char *Desc)
+    : Group(Group), Name(Name), Desc(Desc) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().push_back(this);
+}
+
+const std::vector<Statistic *> &iaa::stat::all() { return registry(); }
+
+Statistic *iaa::stat::find(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  for (Statistic *S : registry())
+    if (Name == S->name())
+      return S;
+  return nullptr;
+}
+
+void iaa::stat::resetAll() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  for (Statistic *S : registry())
+    S->reset();
+}
+
+std::string iaa::stat::table(bool IncludeZero) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  std::string Out = "=== Statistics ===\n";
+  for (const Statistic *S : registry()) {
+    if (!IncludeZero && S->value() == 0)
+      continue;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf), "%12llu %-10s %-32s %s\n",
+                  static_cast<unsigned long long>(S->value()), S->group(),
+                  S->name(), S->desc());
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string iaa::stat::json() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  std::string Out = "{";
+  bool First = true;
+  for (const Statistic *S : registry()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  " +
+           json::str(std::string(S->group()) + "." + S->name()) + ": " +
+           std::to_string(S->value());
+  }
+  Out += "\n}";
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- support/Statistic.h - Named global counters --------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style named statistics: cheap, thread-safe counters registered in a
+/// global registry and dumpable as a table or JSON. A translation unit
+/// defines its group once and declares counters at namespace scope:
+///
+/// \code
+///   #define IAA_STAT_GROUP "bdfs"
+///   IAA_STAT(bdfs_nodes_visited, "Nodes visited by the bounded DFS");
+///   ...
+///   ++bdfs_nodes_visited;
+/// \endcode
+///
+/// Increments are relaxed atomics, safe from interpreter worker threads.
+/// stat::resetAll() zeroes every counter so per-pipeline-run deltas can be
+/// measured (the mfpar --stats flag and the observability tests rely on
+/// this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SUPPORT_STATISTIC_H
+#define IAA_SUPPORT_STATISTIC_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace stat {
+
+/// One named counter. Construction registers it globally; instances must
+/// have static storage duration (the registry keeps raw pointers).
+class Statistic {
+public:
+  Statistic(const char *Group, const char *Name, const char *Desc);
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+
+  uint64_t value() const { return Count.load(std::memory_order_relaxed); }
+  void reset() { Count.store(0, std::memory_order_relaxed); }
+
+  Statistic &operator++() {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    Count.fetch_add(N, std::memory_order_relaxed);
+    return *this;
+  }
+
+private:
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  std::atomic<uint64_t> Count{0};
+};
+
+/// Every registered statistic, in registration order.
+const std::vector<Statistic *> &all();
+
+/// The statistic named \p Name (unique across groups by convention), or
+/// null.
+Statistic *find(const std::string &Name);
+
+/// Zeroes every registered counter.
+void resetAll();
+
+/// Human-readable table of all nonzero counters (all counters when
+/// \p IncludeZero).
+std::string table(bool IncludeZero = false);
+
+/// One JSON object {"group.name": value, ...} over all counters.
+std::string json();
+
+} // namespace stat
+} // namespace iaa
+
+/// Declares a namespace-scope counter registered under IAA_STAT_GROUP.
+#define IAA_STAT(VAR, DESC)                                                    \
+  static ::iaa::stat::Statistic VAR(IAA_STAT_GROUP, #VAR, DESC)
+
+#endif // IAA_SUPPORT_STATISTIC_H

@@ -40,7 +40,14 @@ private:
 /// pipeline time to the array property analysis (Table 2, column five).
 class AccumulatingTimer {
 public:
-  void start() { Current = Timer(); Running = true; }
+  /// Begins a new interval. Calling start() while already running banks the
+  /// open interval first, so no time is silently discarded.
+  void start() {
+    if (Running)
+      Total += Current.seconds();
+    Current = Timer();
+    Running = true;
+  }
 
   void stop() {
     if (Running)

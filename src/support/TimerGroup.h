@@ -1,0 +1,61 @@
+//===- support/TimerGroup.h - Named phase timers ----------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A group of named AccumulatingTimers in insertion order, used to attribute
+/// pipeline wall time to phases (Table 2's per-phase breakdown). The
+/// pipeline times each phase with a TimeRegion on the group's timers and
+/// snapshots the result into PipelineResult::PhaseSeconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SUPPORT_TIMERGROUP_H
+#define IAA_SUPPORT_TIMERGROUP_H
+
+#include "support/Timer.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iaa {
+
+/// Named accumulating timers, ordered by first use.
+class TimerGroup {
+public:
+  /// The timer named \p Name, created on first use.
+  AccumulatingTimer &timer(const std::string &Name) {
+    for (auto &[N, T] : Timers)
+      if (N == Name)
+        return T;
+    Timers.emplace_back(Name, AccumulatingTimer());
+    return Timers.back().second;
+  }
+
+  /// (name, seconds) snapshot in insertion order.
+  std::vector<std::pair<std::string, double>> seconds() const {
+    std::vector<std::pair<std::string, double>> Out;
+    Out.reserve(Timers.size());
+    for (const auto &[N, T] : Timers)
+      Out.emplace_back(N, T.seconds());
+    return Out;
+  }
+
+  double total() const {
+    double Sum = 0;
+    for (const auto &[N, T] : Timers)
+      Sum += T.seconds();
+    return Sum;
+  }
+
+private:
+  std::vector<std::pair<std::string, AccumulatingTimer>> Timers;
+};
+
+} // namespace iaa
+
+#endif // IAA_SUPPORT_TIMERGROUP_H

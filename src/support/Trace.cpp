@@ -1,0 +1,136 @@
+//===- support/Trace.cpp - Hierarchical scoped tracing --------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+
+using namespace iaa;
+using namespace iaa::trace;
+
+std::atomic<bool> iaa::trace::detail::Enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Collector {
+  std::mutex Mutex;
+  std::vector<Event> Events;
+  Clock::time_point Origin = Clock::now();
+  uint32_t NextTid = 0;
+};
+
+Collector &collector() {
+  static Collector C;
+  return C;
+}
+
+double nowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   collector().Origin)
+      .count();
+}
+
+/// Dense thread ids: assigned once per thread on first traced span.
+uint32_t currentTid() {
+  thread_local uint32_t Tid = [] {
+    Collector &C = collector();
+    std::lock_guard<std::mutex> Lock(C.Mutex);
+    return C.NextTid++;
+  }();
+  return Tid;
+}
+
+} // namespace
+
+void iaa::trace::enable(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+void iaa::trace::clear() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  C.Events.clear();
+  C.Origin = Clock::now();
+}
+
+size_t iaa::trace::eventCount() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  return C.Events.size();
+}
+
+std::vector<Event> iaa::trace::events() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  return C.Events;
+}
+
+void TraceScope::begin(const char *N, const char *C) {
+  Active = true;
+  Name = N;
+  Cat = C;
+  (void)currentTid(); // Assign the tid before timing starts.
+  StartMicros = nowMicros();
+}
+
+void TraceScope::end() {
+  double End = nowMicros();
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.TsMicros = StartMicros;
+  E.DurMicros = End - StartMicros;
+  E.Tid = currentTid();
+  E.Args = std::move(Args);
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  C.Events.push_back(std::move(E));
+}
+
+std::string iaa::trace::json() {
+  std::vector<Event> Evs = events();
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+  for (const Event &E : Evs) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  {\"name\": " + json::str(E.Name) +
+           ", \"cat\": " + json::str(E.Cat) +
+           ", \"ph\": \"X\", \"ts\": " + json::num(E.TsMicros) +
+           ", \"dur\": " + json::num(E.DurMicros) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(E.Tid);
+    if (!E.Args.empty()) {
+      Out += ", \"args\": {";
+      bool FirstArg = true;
+      for (const auto &[K, V] : E.Args) {
+        if (!FirstArg)
+          Out += ", ";
+        FirstArg = false;
+        Out += json::str(K) + ": " + json::str(V);
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool iaa::trace::writeJson(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << json();
+  return static_cast<bool>(Out);
+}

@@ -7,12 +7,26 @@
 
 #include "xform/Parallelizer.h"
 
+#include "support/Statistic.h"
 #include "support/Timer.h"
+#include "support/TimerGroup.h"
+#include "support/Trace.h"
 #include "xform/Passes.h"
+
+#include <optional>
 
 using namespace iaa;
 using namespace iaa::xform;
 using namespace iaa::mf;
+
+#define IAA_STAT_GROUP "pipeline"
+IAA_STAT(pipeline_runs, "Pipeline invocations");
+IAA_STAT(pipeline_loops_analyzed, "Loops analyzed by the pipeline");
+IAA_STAT(pipeline_loops_parallel, "Loops marked parallel");
+IAA_STAT(pipeline_constants_propagated, "Constants propagated");
+IAA_STAT(pipeline_forward_substitutions, "Forward substitutions performed");
+IAA_STAT(pipeline_dead_removed, "Dead statements removed");
+IAA_STAT(pipeline_inductions_substituted, "Induction variables substituted");
 
 const char *iaa::xform::pipelineModeName(PipelineMode M) {
   switch (M) {
@@ -47,22 +61,103 @@ std::string PipelineResult::str() const {
   return Out;
 }
 
+namespace {
+
+/// Builds the structured remark backing \p Rep's WhyNot string.
+Remark remarkFor(const LoopReport &Rep) {
+  Remark R;
+  R.Loop = Rep.Label.empty() ? std::string("<unlabeled>") : Rep.Label;
+  R.K = Rep.Parallel ? Remark::Kind::Parallelized : Remark::Kind::Missed;
+  if (Rep.Parallel) {
+    unsigned Privatized = 0;
+    for (const auto &Pv : Rep.PrivOutcomes)
+      if (Pv.Privatizable)
+        ++Privatized;
+    R.Reason = "all array references independent";
+    if (Privatized)
+      R.Reason += "; " + std::to_string(Privatized) + " array(s) privatized";
+    if (!Rep.Reductions.empty())
+      R.Reason +=
+          "; " + std::to_string(Rep.Reductions.size()) + " reduction(s)";
+  } else {
+    R.Reason = Rep.WhyNot;
+  }
+  for (const auto &D : Rep.DepOutcomes) {
+    std::string V = D.Independent ? "independent" : "dependent";
+    V += std::string(" [") + deptest::testKindName(D.Test) + "]";
+    for (const std::string &Prop : D.PropertiesUsed)
+      V += " " + Prop;
+    R.Evidence.emplace_back("dep:" + D.Array->name(), V);
+  }
+  for (const auto &Pv : Rep.PrivOutcomes) {
+    std::string V = Pv.Privatizable ? "private" : "exposed";
+    V += " [" + Pv.Reason + "]";
+    if (Pv.LiveOut)
+      V += " live-out";
+    R.Evidence.emplace_back("priv:" + Pv.Array->name(), V);
+  }
+  for (const Symbol *S : Rep.Reductions)
+    R.Evidence.emplace_back("reduction", S->name());
+  R.Evidence.emplace_back("property-queries",
+                          std::to_string(Rep.PropertyQueries));
+  return R;
+}
+
+} // namespace
+
 PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
+  trace::TraceScope PipeSpan("parallelize", "pipeline");
+  PipeSpan.arg("mode", pipelineModeName(Mode));
+  ++pipeline_runs;
+
   PipelineResult Result;
   Timer Total;
   AccumulatingTimer PropTimer;
+  TimerGroup Phases;
 
   // --- Normalization phases, ordered as Fig. 15(b).
   DiagnosticEngine Diags;
-  normalizeProgram(P, Diags);
-  Result.InductionsSubstituted = substituteInductions(P);
-  Result.ConstantsPropagated = propagateConstants(P);
-  Result.ForwardSubstitutions = forwardSubstitute(P);
-  Result.DeadRemoved = eliminateDeadCode(P);
+  {
+    TimeRegion TR(Phases.timer("normalize"));
+    trace::TraceScope Span("normalize", "pipeline");
+    normalizeProgram(P, Diags);
+  }
+  {
+    TimeRegion TR(Phases.timer("induction-subst"));
+    trace::TraceScope Span("induction-subst", "pipeline");
+    Result.InductionsSubstituted = substituteInductions(P);
+  }
+  {
+    TimeRegion TR(Phases.timer("const-prop"));
+    trace::TraceScope Span("const-prop", "pipeline");
+    Result.ConstantsPropagated = propagateConstants(P);
+  }
+  {
+    TimeRegion TR(Phases.timer("forward-subst"));
+    trace::TraceScope Span("forward-subst", "pipeline");
+    Result.ForwardSubstitutions = forwardSubstitute(P);
+  }
+  {
+    TimeRegion TR(Phases.timer("dce"));
+    trace::TraceScope Span("dce", "pipeline");
+    Result.DeadRemoved = eliminateDeadCode(P);
+  }
+  pipeline_inductions_substituted += Result.InductionsSubstituted;
+  pipeline_constants_propagated += Result.ConstantsPropagated;
+  pipeline_forward_substitutions += Result.ForwardSubstitutions;
+  pipeline_dead_removed += Result.DeadRemoved;
 
   // --- Analysis infrastructure (post-transformation AST).
-  analysis::SymbolUses Uses(P);
-  cfg::Hcg G(P);
+  std::optional<analysis::SymbolUses> UsesOpt;
+  std::optional<cfg::Hcg> GOpt;
+  {
+    TimeRegion TR(Phases.timer("hcg-build"));
+    trace::TraceScope Span("hcg-build", "pipeline");
+    UsesOpt.emplace(P);
+    GOpt.emplace(P);
+  }
+  analysis::SymbolUses &Uses = *UsesOpt;
+  cfg::Hcg &G = *GOpt;
 
   bool EnableIAA = Mode == PipelineMode::Full;
   bool EnableRangeTest = Mode != PipelineMode::Apo;
@@ -81,10 +176,16 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
       AllLoops.push_back(DS);
   });
 
+  AccumulatingTimer &LoopTimer = Phases.timer("loop-analysis");
   for (DoStmt *L : AllLoops) {
+    TimeRegion TR(LoopTimer);
+    trace::TraceScope LoopSpan("analyze-loop", "pipeline");
+    ++pipeline_loops_analyzed;
+
     LoopReport Rep;
     Rep.Loop = L;
     Rep.Label = L->label();
+    LoopSpan.arg("loop", Rep.Label.empty() ? "<unlabeled>" : Rep.Label);
 
     // 1. Dependence test without privatization to find the arrays that
     //    actually need it.
@@ -174,12 +275,18 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
     if (!Rep.Parallel && Rep.WhyNot.empty())
       Rep.WhyNot = "unresolved array dependences";
     Plan.Parallel = Rep.Parallel;
+    if (Rep.Parallel)
+      ++pipeline_loops_parallel;
+    LoopSpan.arg("parallel", Rep.Parallel ? "yes" : "no");
 
+    Result.Remarks.push_back(remarkFor(Rep));
     Result.Plans.emplace(L, std::move(Plan));
     Result.Loops.push_back(std::move(Rep));
   }
 
   Result.TotalSeconds = Total.seconds();
   Result.PropertySeconds = PropTimer.seconds();
+  Result.PhaseSeconds = Phases.seconds();
+  Result.PhaseSeconds.emplace_back("property-analysis", PropTimer.seconds());
   return Result;
 }

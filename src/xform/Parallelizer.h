@@ -27,11 +27,13 @@
 
 #include "deptest/DependenceTest.h"
 #include "mf/Program.h"
+#include "support/Remarks.h"
 #include "xform/Privatization.h"
 
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace iaa {
@@ -79,6 +81,10 @@ struct PipelineResult {
   unsigned ForwardSubstitutions = 0;
   unsigned DeadRemoved = 0;
   unsigned InductionsSubstituted = 0;
+  /// Wall-clock seconds per pipeline phase, in execution order.
+  std::vector<std::pair<std::string, double>> PhaseSeconds;
+  /// One optimization remark per analyzed loop (backs each WhyNot string).
+  std::vector<Remark> Remarks;
 
   /// The plan for \p L (null when the loop is serial).
   const LoopPlan *planFor(const mf::DoStmt *L) const {

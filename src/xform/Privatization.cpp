@@ -8,6 +8,8 @@
 #include "xform/Privatization.h"
 
 #include "analysis/SingleIndex.h"
+#include "support/Statistic.h"
+#include "support/Trace.h"
 
 #include <functional>
 
@@ -657,7 +659,16 @@ void findReductions(const DoStmt *L, const SymbolUses &Uses,
 // Driver
 //===----------------------------------------------------------------------===//
 
+#define IAA_STAT_GROUP "privatization"
+IAA_STAT(priv_loops_analyzed, "Loops run through the privatizer");
+IAA_STAT(priv_arrays_privatized, "Arrays proven privatizable");
+IAA_STAT(priv_arrays_exposed, "Arrays with exposed upward reads");
+
 PrivatizationResult Privatizer::analyze(const DoStmt *L) {
+  trace::TraceScope Span("privatization", "xform");
+  if (Span.active() && !L->label().empty())
+    Span.arg("loop", L->label());
+  ++priv_loops_analyzed;
   PrivatizationResult Result;
   UseSet BodyU = Uses.bodyUses(L->body());
 
@@ -763,8 +774,12 @@ PrivatizationResult Privatizer::analyze(const DoStmt *L) {
     }
     O.Detail = St.Detail;
     O.LiveOut = ReferencedOutside(X);
-    if (O.Privatizable)
+    if (O.Privatizable) {
+      ++priv_arrays_privatized;
       Result.Arrays.insert(X);
+    } else {
+      ++priv_arrays_exposed;
+    }
     Result.Outcomes.push_back(std::move(O));
   }
 

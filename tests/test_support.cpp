@@ -75,7 +75,7 @@ TEST(Support, AccumulatingTimer) {
     TimeRegion R(T);
     volatile double Sink = 0;
     for (int I = 0; I < 100000; ++I)
-      Sink += I * 0.5;
+      Sink = Sink + I * 0.5;
     (void)Sink;
   }
   double First = T.seconds();
@@ -86,6 +86,27 @@ TEST(Support, AccumulatingTimer) {
   EXPECT_GE(T.seconds(), First);
   T.clear();
   EXPECT_DOUBLE_EQ(T.seconds(), 0.0);
+}
+
+TEST(Support, AccumulatingTimerDoubleStart) {
+  // start() while running must bank the open interval instead of silently
+  // discarding it.
+  AccumulatingTimer T;
+  T.start();
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + I * 0.5;
+  (void)Sink;
+  double Banked = T.seconds();
+  EXPECT_GT(Banked, 0.0);
+  T.start(); // Restart mid-interval: the elapsed time above must survive.
+  T.stop();
+  EXPECT_GE(T.seconds(), Banked);
+
+  // stop() when not running is a no-op.
+  double AfterStop = T.seconds();
+  T.stop();
+  EXPECT_DOUBLE_EQ(T.seconds(), AfterStop);
 }
 
 TEST(Support, ProgramTraversalOrder) {

@@ -8,10 +8,13 @@
 // mfpar: a small driver exposing the whole toolchain on MF source files.
 //
 //   mfpar FILE.mf [--mode=full|noiaa|apo] [--run[=THREADS]] [--dump]
+//         [--schedule=static|dynamic|guided] [--chunk=N]
 //         [--stats] [--trace=out.json] [--remarks=out.jsonl]
 //
 //   --mode     pipeline configuration (default full)
 //   --run      execute the program (optionally in parallel with N threads)
+//   --schedule loop scheduling policy for parallel runs (default static)
+//   --chunk    chunk size for the scheduler (default: policy-dependent)
 //   --dump     print the normalized program after the transformation passes
 //   --annotate print the program with !$iaa parallel do directives
 //   --stats    print the statistic counters and per-phase timings
@@ -42,7 +45,8 @@ using namespace iaa;
 static int usage() {
   std::fprintf(stderr,
                "usage: mfpar [FILE.mf] [--mode=full|noiaa|apo] "
-               "[--run[=THREADS]] [--dump] [--annotate] [--stats] "
+               "[--run[=THREADS]] [--schedule=static|dynamic|guided] "
+               "[--chunk=N] [--dump] [--annotate] [--stats] "
                "[--trace=FILE] [--remarks=FILE]\n");
   return 2;
 }
@@ -52,6 +56,8 @@ int main(int argc, char **argv) {
   xform::PipelineMode Mode = xform::PipelineMode::Full;
   bool Run = false;
   unsigned Threads = 4;
+  interp::Schedule Sched = interp::Schedule::Static;
+  int64_t ChunkSize = 0;
   bool Dump = false;
   bool Annotate = false;
   bool Stats = false;
@@ -76,6 +82,13 @@ int main(int argc, char **argv) {
       Run = true;
       Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 6));
       if (Threads == 0)
+        return usage();
+    } else if (Arg.rfind("--schedule=", 0) == 0) {
+      if (!interp::parseSchedule(Arg.substr(11), Sched))
+        return usage();
+    } else if (Arg.rfind("--chunk=", 0) == 0) {
+      ChunkSize = std::atoll(Arg.c_str() + 8);
+      if (ChunkSize <= 0)
         return usage();
     } else if (Arg == "--dump") {
       Dump = true;
@@ -150,13 +163,15 @@ int main(int argc, char **argv) {
     interp::ExecOptions Par;
     Par.Plans = &R;
     Par.Threads = Threads;
+    Par.Sched = Sched;
+    Par.ChunkSize = ChunkSize;
     Par.Simulate = true; // Works on any host core count.
     interp::ExecStats ParStats;
     interp::Memory Parallel = I.run(Par, &ParStats);
     std::set<unsigned> Dead = interp::deadPrivateIds(R);
-    std::printf("parallel run (%u simulated processors): %.3fs "
+    std::printf("parallel run (%u simulated processors, %s schedule): %.3fs "
                 "(speedup %.2f), checksum %.6f (%s)\n",
-                Threads, ParStats.TotalSeconds,
+                Threads, interp::scheduleName(Sched), ParStats.TotalSeconds,
                 SeqStats.TotalSeconds / ParStats.TotalSeconds,
                 Parallel.checksumExcluding(Dead),
                 Serial.checksumExcluding(Dead) ==

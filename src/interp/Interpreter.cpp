@@ -9,6 +9,7 @@
 
 #include "analysis/GlobalConstants.h"
 #include "interp/ThreadPool.h"
+#include "support/Saturating.h"
 #include "support/Statistic.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
@@ -17,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 
 using namespace iaa;
 using namespace iaa::interp;
@@ -78,7 +80,10 @@ Memory::Memory(const Program &P) {
       case BinaryOp::Add: return L + R;
       case BinaryOp::Sub: return L - R;
       case BinaryOp::Mul: return L * R;
-      case BinaryOp::Div: return R ? L / R : 0;
+      case BinaryOp::Div:
+        if (!R)
+          runtimeFault("division by zero in array extent");
+        return L / R;
       default: runtimeFault("unsupported operator in array extent");
       }
     }
@@ -128,7 +133,8 @@ std::set<unsigned> interp::deadPrivateIds(const xform::PipelineResult &Plans) {
   for (const auto &[Loop, Plan] : Plans.Plans)
     if (Plan.Parallel)
       for (const mf::Symbol *S : Plan.PrivateArrays)
-        Ids.insert(S->id());
+        if (!Plan.LiveOutArrays.count(S))
+          Ids.insert(S->id());
   return Ids;
 }
 
@@ -401,7 +407,7 @@ private:
       NIter = 0;
 
     if (!Plan || NIter < 2 ||
-        NIter * bodyWeight(DS) < Opts.MinParallelWork) {
+        satMul(NIter, bodyWeight(DS)) < Opts.MinParallelWork) {
       for (int64_t I = Lo; Step > 0 ? I <= Up : I >= Up; I += Step) {
         setScalar(DS->indexVar(), I, F);
         execBody(DS->body(), F);
@@ -425,10 +431,26 @@ private:
     trace::TraceScope ParSpan("parallel-loop", "interp");
     ParSpan.arg("loop", DS->label().empty() ? "<unlabeled>" : DS->label());
     ParSpan.arg("threads", std::to_string(T));
+    ParSpan.arg("schedule", scheduleName(Opts.Sched));
 
-    std::vector<std::unordered_map<unsigned, Buffer>> Overrides(T);
+    // Everything below is per-*worker-that-ran-iterations*: private copies
+    // are built on a worker's first dispensed chunk, reduction partials are
+    // merged only from workers that ran, and the last value comes from the
+    // worker that executed the final iteration — an idle worker (empty
+    // static chunk, or starved by the dynamic dispenser) contributes
+    // nothing and can never corrupt post-loop state.
+    struct WorkerState {
+      std::unordered_map<unsigned, Buffer> Overrides;
+      bool Ran = false;
+      int64_t LastIter = 0; ///< Highest iteration executed (valid if Ran).
+      unsigned Chunks = 0;
+      double SecondsSum = 0;
+      double SecondsMax = 0;
+    };
+    std::vector<WorkerState> Workers(T);
+
     auto BuildPrivates = [&](unsigned W) {
-      auto &Map = Overrides[W];
+      auto &Map = Workers[W].Overrides;
       auto AddPrivate = [&](const Symbol *S) {
         Map.emplace(S->id(), Mem.buffer(S)); // Copy-in.
       };
@@ -447,64 +469,105 @@ private:
       }
     };
 
-    // Contiguous chunks. Each worker writes only its own ChunkSecs slot, so
-    // the threaded path needs no synchronization.
-    int64_t Chunk = (NIter + T - 1) / T;
-    std::vector<double> ChunkSecs(T, 0.0);
-    auto RunChunk = [&](unsigned W) {
+    ChunkDispenser Disp(Lo, Up, T, Opts.Sched, Opts.ChunkSize);
+
+    // Runs one dispensed chunk on worker W; returns its seconds (including
+    // the first chunk's private-copy construction — it parallelizes too).
+    // Each worker touches only its own WorkerState slot, so the threaded
+    // path needs no synchronization beyond the dispenser and the join.
+    auto RunChunk = [&](unsigned W, int64_t First, int64_t Last,
+                        unsigned ChunkId) {
       trace::TraceScope ChunkSpan("chunk", "interp");
       Timer CT;
-      int64_t First = Lo + static_cast<int64_t>(W) * Chunk;
-      int64_t Last = std::min(Up, First + Chunk - 1);
+      WorkerState &WS = Workers[W];
+      if (!WS.Ran) {
+        BuildPrivates(W);
+        WS.Ran = true;
+      }
       Frame FW;
-      FW.Overrides = &Overrides[W];
+      FW.Overrides = &WS.Overrides;
       FW.InParallel = true;
       for (int64_t I = First; I <= Last; ++I) {
         setScalar(DS->indexVar(), I, FW);
         execBody(DS->body(), FW);
       }
-      ChunkSecs[W] = CT.seconds();
+      double Secs = CT.seconds();
+      WS.LastIter = std::max(WS.LastIter, Last);
+      ++WS.Chunks;
+      WS.SecondsSum += Secs;
+      WS.SecondsMax = std::max(WS.SecondsMax, Secs);
       if (ChunkSpan.active()) {
         ChunkSpan.arg("worker", std::to_string(W));
+        ChunkSpan.arg("chunk", std::to_string(ChunkId));
+        ChunkSpan.arg("schedule", scheduleName(Opts.Sched));
         ChunkSpan.arg("first", std::to_string(First));
         ChunkSpan.arg("last", std::to_string(Last));
       }
+      return Secs;
     };
 
     if (Opts.Simulate) {
-      // Chunks run back to back; the loop's virtual cost is the slowest
-      // chunk plus the fork/join overhead model. Private-copy construction
-      // happens inside each worker's timed region (it parallelizes too).
-      double SumChunks = 0, MaxChunk = 0;
+      // Model the same schedule the threaded path would run: greedy list
+      // scheduling on per-worker virtual clocks — the next chunk goes to
+      // the worker whose clock is lowest, exactly how a free thread is the
+      // one that grabs from the dispenser. The loop's virtual cost is the
+      // busiest worker's clock plus the fork/join overhead model.
+      std::vector<double> Clock(T, 0.0);
+      std::vector<bool> Done(T, false);
+      while (true) {
+        unsigned W = T;
+        for (unsigned C = 0; C < T; ++C)
+          if (!Done[C] && (W == T || Clock[C] < Clock[W]))
+            W = C;
+        if (W == T)
+          break;
+        int64_t First, Last;
+        unsigned ChunkId;
+        if (!Disp.next(W, First, Last, ChunkId)) {
+          Done[W] = true;
+          continue;
+        }
+        Clock[W] += RunChunk(W, First, Last, ChunkId);
+      }
+      double SumChunks = 0, MaxClock = 0;
       for (unsigned W = 0; W < T; ++W) {
-        Timer CT;
-        BuildPrivates(W);
-        RunChunk(W);
-        double Secs = CT.seconds();
-        SumChunks += Secs;
-        MaxChunk = std::max(MaxChunk, Secs);
+        SumChunks += Clock[W];
+        MaxClock = std::max(MaxClock, Clock[W]);
       }
       double Overhead = Opts.ForkAlpha + Opts.ForkBeta * T;
-      VirtualAdjust += SumChunks - (MaxChunk + Overhead);
+      VirtualAdjust += SumChunks - (MaxClock + Overhead);
     } else {
-      for (unsigned W = 0; W < T; ++W)
-        BuildPrivates(W);
-      forkJoin(T, RunChunk);
+      if (!Pool || Pool->maxWorkers() < T)
+        Pool = std::make_unique<WorkerPool>(Opts.Threads);
+      Pool->run(T, [&](unsigned W) {
+        int64_t First, Last;
+        unsigned ChunkId;
+        while (Disp.next(W, First, Last, ChunkId))
+          RunChunk(W, First, Last, ChunkId);
+      });
     }
-    interp_chunks_run += T;
+
+    unsigned ChunksRun = Disp.chunksDispensed();
+    interp_chunks_run += ChunksRun;
     if (Stats) {
-      Stats->ChunksRun += T;
-      for (double Secs : ChunkSecs) {
-        Stats->ChunkSecondsSum += Secs;
-        Stats->ChunkSecondsMax = std::max(Stats->ChunkSecondsMax, Secs);
+      Stats->ChunksRun += ChunksRun;
+      for (const WorkerState &WS : Workers) {
+        if (!WS.Ran)
+          continue;
+        ++Stats->WorkersEngaged;
+        Stats->ChunkSecondsSum += WS.SecondsSum;
+        Stats->ChunkSecondsMax = std::max(Stats->ChunkSecondsMax,
+                                          WS.SecondsMax);
       }
     }
 
-    // Merge reductions: global += sum of partials.
+    // Merge reductions: global += sum of partials of the workers that ran.
     for (const Symbol *S : Plan->Reductions) {
       Buffer &G = Mem.buffer(S);
-      for (unsigned W = 0; W < T; ++W) {
-        const Buffer &Part = Overrides[W].at(S->id());
+      for (const WorkerState &WS : Workers) {
+        if (!WS.Ran)
+          continue;
+        const Buffer &Part = WS.Overrides.at(S->id());
         if (G.Kind == ScalarKind::Int)
           G.I[0] += Part.I[0];
         else
@@ -512,13 +575,20 @@ private:
       }
     }
 
-    // Last-value semantics: the thread that ran the last chunk writes its
-    // private copies back.
-    unsigned LastW = T - 1;
+    // Last-value semantics: the worker that executed the final iteration
+    // writes its private copies back. Chunks are dispensed in increasing
+    // iteration order under every schedule, so exactly one worker's highest
+    // iteration is Up.
+    WorkerState *LastW = nullptr;
+    for (WorkerState &WS : Workers)
+      if (WS.Ran && WS.LastIter == Up)
+        LastW = &WS;
+    if (!LastW)
+      runtimeFault("no worker executed the final iteration");
     for (const Symbol *S : Plan->PrivateScalars)
-      Mem.buffer(S) = Overrides[LastW].at(S->id());
+      Mem.buffer(S) = LastW->Overrides.at(S->id());
     for (const Symbol *S : Plan->PrivateArrays)
-      Mem.buffer(S) = Overrides[LastW].at(S->id());
+      Mem.buffer(S) = LastW->Overrides.at(S->id());
     setScalar(DS->indexVar(), Up + 1, F);
 
     if (Timed)
@@ -552,14 +622,14 @@ private:
     case StmtKind::Do: {
       int64_t W = 0;
       for (const Stmt *Sub : cast<DoStmt>(S)->body())
-        W += stmtWeight(Sub);
-      return 2 + 16 * W;
+        W = satAdd(W, stmtWeight(Sub));
+      return satAdd(2, satMul(16, W));
     }
     case StmtKind::While: {
       int64_t W = 0;
       for (const Stmt *Sub : cast<WhileStmt>(S)->body())
-        W += stmtWeight(Sub);
-      return 2 + 16 * W;
+        W = satAdd(W, stmtWeight(Sub));
+      return satAdd(2, satMul(16, W));
     }
     }
     return 1;
@@ -569,7 +639,7 @@ private:
     auto [It, Inserted] = BodyWeights.try_emplace(DS, 0);
     if (Inserted)
       for (const Stmt *Sub : DS->body())
-        It->second += stmtWeight(Sub);
+        It->second = satAdd(It->second, stmtWeight(Sub));
     return It->second;
   }
 
@@ -585,6 +655,10 @@ private:
   ExecStats *Stats;
   std::vector<std::vector<int64_t>> DimExtents;
   std::map<const DoStmt *, int64_t> BodyWeights;
+  /// Created lazily on the first threaded parallel loop; its workers park
+  /// on a condition variable between loops and are joined for good when the
+  /// run finishes.
+  std::unique_ptr<WorkerPool> Pool;
 };
 
 } // namespace

@@ -9,10 +9,13 @@
 /// A tree-walking executor for MF programs, with a parallel do-loop mode
 /// driven by the parallelizer's plans. This is the runtime substrate for the
 /// speedup experiments (Fig. 16): a loop the pipeline marked parallel is
-/// executed fork/join over contiguous iteration chunks; arrays and scalars
-/// the plan privatized get per-thread copies; recognized sum reductions use
-/// per-thread partials merged after the join; the thread that ran the last
-/// chunk writes its private copies back (Fortran's last-value semantics).
+/// executed fork/join on a persistent WorkerPool, with iteration chunks
+/// handed out by a ChunkDispenser under a static, dynamic, or guided
+/// schedule; arrays and scalars the plan privatized get per-worker copies
+/// built on the worker's first chunk; recognized sum reductions use
+/// per-worker partials merged after the join; the worker that executed the
+/// loop's *final iteration* writes its private copies back (Fortran's
+/// last-value semantics — never an idle worker's untouched copy-in).
 ///
 /// Correctness is checked in the tests by comparing checksums of parallel
 /// and serial runs of every benchmark.
@@ -22,6 +25,7 @@
 #ifndef IAA_INTERP_INTERPRETER_H
 #define IAA_INTERP_INTERPRETER_H
 
+#include "interp/ThreadPool.h"
 #include "mf/Program.h"
 #include "xform/Parallelizer.h"
 
@@ -97,6 +101,11 @@ struct ExecOptions {
   /// unguarded execution (the paper's Fig. 16(e) tiny-input slowdown needs
   /// the guard off).
   int64_t MinParallelWork = 1024;
+  /// How parallel loops divide iterations among workers (see Schedule).
+  Schedule Sched = Schedule::Static;
+  /// Chunk size for the dispenser; 0 picks the policy default (static:
+  /// ceil(NIter/Threads), dynamic: 1, guided: a floor of 1).
+  int64_t ChunkSize = 0;
 };
 
 /// Per-run execution statistics. In simulated mode every time below is
@@ -111,8 +120,15 @@ struct ExecStats {
   double WallSeconds = 0;
   /// Number of loop invocations executed in parallel.
   unsigned ParallelLoopRuns = 0;
-  /// Number of iteration chunks executed by parallel loops.
+  /// Number of iteration chunks executed by parallel loops. Fed by the
+  /// chunk dispenser, which never hands out empty chunks, so this counts
+  /// only chunks that ran at least one iteration.
   unsigned ChunksRun = 0;
+  /// Workers that executed at least one chunk, accumulated over parallel
+  /// loop invocations. Less than ParallelLoopRuns * Threads when the
+  /// iteration space did not fill every worker (e.g. NIter=6 over T=4 under
+  /// the static schedule leaves one worker idle).
+  unsigned WorkersEngaged = 0;
   /// Sum and max of per-chunk body seconds, over every parallel loop
   /// invocation. max * ChunksRun / sum ≈ 1 means balanced work; larger
   /// values expose imbalance (also visible per-chunk in the trace).

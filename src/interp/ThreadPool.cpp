@@ -1,4 +1,4 @@
-//===- interp/ThreadPool.cpp - Fork/join helper ---------------------------===//
+//===- interp/ThreadPool.cpp - Persistent parallel-loop runtime -----------===//
 //
 // Part of the IAA project, an open-source reproduction of
 // "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
@@ -9,25 +9,168 @@
 
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <string>
-#include <thread>
-#include <vector>
 
 using namespace iaa;
+using namespace iaa::interp;
 
-void iaa::interp::forkJoin(unsigned Workers,
-                           const std::function<void(unsigned)> &Fn) {
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+WorkerPool::WorkerPool(unsigned MaxWorkers)
+    : MaxWorkers(std::max(1u, MaxWorkers)) {
+  Threads.reserve(this->MaxWorkers - 1);
+  for (unsigned W = 1; W < this->MaxWorkers; ++W)
+    Threads.emplace_back([this, W] { workerLoop(W); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Shutdown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::workerLoop(unsigned Id) {
+  uint64_t SeenGen = 0;
+  while (true) {
+    const std::function<void(unsigned)> *MyJob = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WakeCv.wait(Lock, [&] { return Shutdown || Generation != SeenGen; });
+      if (Shutdown)
+        return;
+      SeenGen = Generation;
+      if (Id < ActiveWorkers)
+        MyJob = Job;
+    }
+    if (!MyJob)
+      continue; // Parked out of this generation's worker set.
+    (*MyJob)(Id);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (--Outstanding == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(unsigned Workers,
+                     const std::function<void(unsigned)> &Fn) {
+  Workers = std::min(Workers, MaxWorkers);
   if (Workers <= 1) {
     Fn(0);
     return;
   }
   trace::TraceScope Span("fork-join", "interp");
   Span.arg("workers", std::to_string(Workers));
-  std::vector<std::thread> Threads;
-  Threads.reserve(Workers - 1);
-  for (unsigned W = 1; W < Workers; ++W)
-    Threads.emplace_back([&Fn, W] { Fn(W); });
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Job = &Fn;
+    ActiveWorkers = Workers;
+    Outstanding = Workers - 1;
+    ++Generation;
+  }
+  WakeCv.notify_all();
   Fn(0);
-  for (std::thread &T : Threads)
-    T.join();
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCv.wait(Lock, [&] { return Outstanding == 0; });
+  Job = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop scheduling
+//===----------------------------------------------------------------------===//
+
+const char *interp::scheduleName(Schedule S) {
+  switch (S) {
+  case Schedule::Static: return "static";
+  case Schedule::Dynamic: return "dynamic";
+  case Schedule::Guided: return "guided";
+  }
+  return "?";
+}
+
+bool interp::parseSchedule(const std::string &Name, Schedule &Out) {
+  if (Name == "static")
+    Out = Schedule::Static;
+  else if (Name == "dynamic")
+    Out = Schedule::Dynamic;
+  else if (Name == "guided")
+    Out = Schedule::Guided;
+  else
+    return false;
+  return true;
+}
+
+ChunkDispenser::ChunkDispenser(int64_t Lo, int64_t Up, unsigned Workers,
+                               Schedule Sched, int64_t ChunkSize)
+    : Lo(Lo), Up(Up), Workers(std::max(1u, Workers)), Sched(Sched),
+      Cursor(Lo) {
+  int64_t NIter = Up >= Lo ? Up - Lo + 1 : 0;
+  switch (Sched) {
+  case Schedule::Static:
+    // Default: one contiguous block per worker (ceil split), the classic
+    // parallel-do decomposition; an explicit chunk deals blocks round-robin.
+    Chunk = ChunkSize > 0
+                ? ChunkSize
+                : std::max<int64_t>(1, (NIter + this->Workers - 1) /
+                                           this->Workers);
+    StaticBlock.resize(this->Workers);
+    for (unsigned W = 0; W < this->Workers; ++W)
+      StaticBlock[W] = W;
+    break;
+  case Schedule::Dynamic:
+    Chunk = ChunkSize > 0 ? ChunkSize : 1;
+    break;
+  case Schedule::Guided:
+    Chunk = ChunkSize > 0 ? ChunkSize : 1; // Minimum grab size.
+    break;
+  }
+}
+
+bool ChunkDispenser::next(unsigned W, int64_t &First, int64_t &Last,
+                          unsigned &ChunkId) {
+  switch (Sched) {
+  case Schedule::Static: {
+    // Per-worker cursor: worker W owns blocks W, W+Workers, W+2*Workers...
+    // No cross-thread state is touched besides the dispense counter.
+    int64_t Block = StaticBlock[W];
+    First = Lo + Block * Chunk;
+    if (First > Up)
+      return false;
+    StaticBlock[W] = Block + Workers;
+    Last = std::min(Up, First + Chunk - 1);
+    break;
+  }
+  case Schedule::Dynamic: {
+    First = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
+    if (First > Up)
+      return false;
+    Last = std::min(Up, First + Chunk - 1);
+    break;
+  }
+  case Schedule::Guided: {
+    int64_t Cur = Cursor.load(std::memory_order_relaxed);
+    int64_t Size;
+    do {
+      if (Cur > Up)
+        return false;
+      int64_t Remaining = Up - Cur + 1;
+      Size = std::max(Chunk, Remaining / static_cast<int64_t>(Workers));
+      Size = std::min(Size, Remaining);
+    } while (!Cursor.compare_exchange_weak(Cur, Cur + Size,
+                                           std::memory_order_relaxed));
+    First = Cur;
+    Last = Cur + Size - 1;
+    break;
+  }
+  }
+  ChunkId = Dispensed.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }

@@ -1,4 +1,4 @@
-//===- interp/ThreadPool.h - Fork/join helper for parallel loops -*- C++ -*-=//
+//===- interp/ThreadPool.h - Persistent parallel-loop runtime ---*- C++ -*-===//
 //
 // Part of the IAA project, an open-source reproduction of
 // "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
@@ -6,23 +6,127 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal fork/join primitive: run N workers, wait for all. Parallel do
-/// loops in the interpreter are fork/join at loop granularity — the same
-/// execution model the paper's SGI Origin runs used (parallel do).
+/// The scheduling runtime behind parallel do loops: a persistent WorkerPool
+/// whose threads park on a condition variable between loops (fork/join at
+/// loop granularity, as on the paper's SGI Origin runs, but without paying a
+/// thread spawn per invocation), and a ChunkDispenser that hands out
+/// iteration chunks under the static / dynamic / guided policies of
+/// `ExecOptions::Sched`.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef IAA_INTERP_THREADPOOL_H
 #define IAA_INTERP_THREADPOOL_H
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace iaa {
 namespace interp {
 
-/// Runs \p Fn(worker) on \p Workers threads (worker 0 runs on the calling
-/// thread) and joins them all.
-void forkJoin(unsigned Workers, const std::function<void(unsigned)> &Fn);
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+/// A fork/join pool whose worker threads are spawned once and sleep between
+/// loops. run(T, Fn) wakes workers 1..T-1, runs Fn(0) on the calling thread,
+/// and returns when every woken worker finished — the join synchronizes, so
+/// results written by workers are visible to the caller without extra
+/// fences. Only one run() may be active at a time (parallel loops do not
+/// nest in the interpreter).
+class WorkerPool {
+public:
+  /// Spawns \p MaxWorkers - 1 parked threads (worker 0 is the caller).
+  explicit WorkerPool(unsigned MaxWorkers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  unsigned maxWorkers() const { return MaxWorkers; }
+
+  /// Runs \p Fn(W) for W in [0, Workers); Workers must not exceed
+  /// maxWorkers(). Worker 0 executes on the calling thread.
+  void run(unsigned Workers, const std::function<void(unsigned)> &Fn);
+
+  /// Fork/join generations completed so far (one per run() call).
+  uint64_t generation() const { return Generation; }
+
+private:
+  void workerLoop(unsigned Id);
+
+  unsigned MaxWorkers;
+  std::vector<std::thread> Threads;
+
+  std::mutex M;
+  std::condition_variable WakeCv; ///< Signals a new generation or shutdown.
+  std::condition_variable DoneCv; ///< Signals Outstanding reached zero.
+  const std::function<void(unsigned)> *Job = nullptr;
+  unsigned ActiveWorkers = 0; ///< Workers participating in this generation.
+  unsigned Outstanding = 0;   ///< Woken workers that have not finished.
+  uint64_t Generation = 0;
+  bool Shutdown = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Loop scheduling
+//===----------------------------------------------------------------------===//
+
+/// How a parallel loop's iteration space is divided among workers.
+enum class Schedule {
+  Static,  ///< Contiguous blocks dealt round-robin (one block per worker by
+           ///< default); deterministic worker-to-iteration assignment.
+  Dynamic, ///< Fixed-size chunks grabbed first-come-first-served from an
+           ///< atomic cursor (default chunk 1).
+  Guided,  ///< Like dynamic, but each grab takes remaining/Workers
+           ///< iterations (never fewer than the chunk-size floor), so chunks
+           ///< shrink as the loop drains.
+};
+
+const char *scheduleName(Schedule S);
+
+/// Parses "static" / "dynamic" / "guided"; false on anything else.
+bool parseSchedule(const std::string &Name, Schedule &Out);
+
+/// Hands out chunks of the inclusive iteration space [Lo, Up] (step 1) to
+/// \p Workers workers. Every iteration is dispensed exactly once; chunks are
+/// dispensed in increasing iteration order, and the chunks a given worker
+/// receives are increasing too — so the worker holding the chunk that
+/// contains Up is the one that executed the loop's final iteration (the
+/// last-value owner). next() is thread-safe; empty chunks are never handed
+/// out, so chunksDispensed() counts only chunks that ran iterations.
+class ChunkDispenser {
+public:
+  /// \p ChunkSize 0 picks the policy default: static ceil(N/Workers)
+  /// (one block per worker), dynamic 1, guided a floor of 1.
+  ChunkDispenser(int64_t Lo, int64_t Up, unsigned Workers, Schedule Sched,
+                 int64_t ChunkSize);
+
+  /// Grabs worker \p W's next chunk; false when its share is exhausted.
+  /// \p ChunkId is the dispense-order id (0-based), used by trace spans.
+  bool next(unsigned W, int64_t &First, int64_t &Last, unsigned &ChunkId);
+
+  /// Non-empty chunks dispensed so far.
+  unsigned chunksDispensed() const {
+    return Dispensed.load(std::memory_order_relaxed);
+  }
+
+  int64_t chunkSize() const { return Chunk; }
+
+private:
+  int64_t Lo, Up;
+  unsigned Workers;
+  Schedule Sched;
+  int64_t Chunk; ///< Block size (static/dynamic) or floor (guided).
+  std::atomic<int64_t> Cursor;      ///< Next undispensed iteration.
+  std::atomic<unsigned> Dispensed{0};
+  std::vector<int64_t> StaticBlock; ///< Per-worker next block index.
+};
 
 } // namespace interp
 } // namespace iaa

@@ -1,0 +1,46 @@
+//===- support/Saturating.h - Saturating integer arithmetic -----*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Overflow-clamping int64 arithmetic for static work estimates. Body
+/// weights multiply by 16 per loop-nesting level, so a huge trip count times
+/// a deeply nested body can overflow a plain int64 multiply — which is UB
+/// and, in practice, wraps negative and defeats thresholds like the
+/// parallel-loop profitability guard. Saturating to the int64 extremes
+/// keeps every comparison against a threshold meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SUPPORT_SATURATING_H
+#define IAA_SUPPORT_SATURATING_H
+
+#include <cstdint>
+#include <limits>
+
+namespace iaa {
+
+/// A * B, clamped to [INT64_MIN, INT64_MAX] on overflow.
+inline int64_t satMul(int64_t A, int64_t B) {
+  int64_t R;
+  if (!__builtin_mul_overflow(A, B, &R))
+    return R;
+  return (A < 0) != (B < 0) ? std::numeric_limits<int64_t>::min()
+                            : std::numeric_limits<int64_t>::max();
+}
+
+/// A + B, clamped to [INT64_MIN, INT64_MAX] on overflow.
+inline int64_t satAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (!__builtin_add_overflow(A, B, &R))
+    return R;
+  return A < 0 ? std::numeric_limits<int64_t>::min()
+               : std::numeric_limits<int64_t>::max();
+}
+
+} // namespace iaa
+
+#endif // IAA_SUPPORT_SATURATING_H

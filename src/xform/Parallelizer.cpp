@@ -213,14 +213,17 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
             if (!O.Privatizable) {
               PrivOk = false;
               Rep.WhyNot = "array " + X->name() + " carries a dependence";
-            } else if (O.LiveOut) {
-              // Copy-out of a per-iteration private section is not
-              // representable; stay serial.
+            } else if (O.LiveOut && !O.LastValueOk) {
+              // The array is read after the loop but no single iteration's
+              // private copy reproduces the serial final contents; a
+              // per-iteration copy-out is not representable, so stay serial.
               PrivOk = false;
               Rep.WhyNot = "array " + X->name() +
                            " needs privatization but is live after the loop";
             } else {
               Plan.PrivateArrays.insert(X);
+              if (O.LiveOut)
+                Plan.LiveOutArrays.insert(X);
             }
           }
         if (!Found) {

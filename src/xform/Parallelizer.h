@@ -50,6 +50,11 @@ struct LoopPlan {
   bool Parallel = false;
   /// Arrays given per-thread copies.
   std::set<const mf::Symbol *> PrivateArrays;
+  /// Privatized arrays that are live after the loop and whose post-loop
+  /// contents are reproduced by the last-value writeback (the privatizer
+  /// proved every iteration MUST-writes the same index-invariant section
+  /// covering all MAY writes). Excluded from deadPrivateIds.
+  std::set<const mf::Symbol *> LiveOutArrays;
   /// Scalars given per-thread copies (everything written in the body that
   /// is not a reduction).
   std::set<const mf::Symbol *> PrivateScalars;

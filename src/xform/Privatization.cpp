@@ -80,6 +80,9 @@ struct Privatizer::Walker {
 
   /// Overlay stack: Must[0] is the iteration level of the target loop.
   std::vector<std::map<const Symbol *, Section>> Must;
+  /// MAY-written overlay stack mirroring Must, used only for the last-value
+  /// proof. A Universe section marks writes that cannot be bounded.
+  std::vector<std::map<const Symbol *, Section>> May;
   /// Loop context: (index, lo, up) of open inner loops.
   std::vector<const DoStmt *> OpenLoops;
   RangeEnv Env;
@@ -95,6 +98,7 @@ struct Privatizer::Walker {
                 SymRange::of(SymExpr::fromAst(Target->lower()),
                              SymExpr::fromAst(Target->upper())));
     Must.emplace_back();
+    May.emplace_back();
   }
 
   bool isCandidate(const Symbol *X) const { return States.count(X) != 0; }
@@ -120,7 +124,18 @@ struct Privatizer::Walker {
       It->second = Section::unionMust(It->second, S, Env);
   }
 
-  /// Invalidate state depending on scalar \p S: its value changed.
+  void addMayWrite(const Symbol *X, const Section &S) {
+    auto &Level = May.back();
+    auto It = Level.find(X);
+    if (It == Level.end())
+      Level.emplace(X, S);
+    else
+      It->second = Section::unionMay(It->second, S, Env);
+  }
+
+  /// Invalidate state depending on scalar \p S: its value changed. MUST
+  /// sections can simply be dropped; MAY sections must over-approximate, so
+  /// they widen to Universe instead.
   void scalarWritten(const Symbol *S) {
     ScalarVals.erase(S);
     for (auto &Level : Must)
@@ -129,6 +144,10 @@ struct Privatizer::Walker {
           It = Level.erase(It);
         else
           ++It;
+    for (auto &Level : May)
+      for (auto &[X, Sec] : Level)
+        if (Sec.referencesVar(S))
+          Sec = Section::universe();
   }
 
   /// The MAY-read section of one reference to candidate X at \p Site.
@@ -205,10 +224,18 @@ struct Privatizer::Walker {
     if (const mf::ArrayRef *T = AS->arrayTarget()) {
       for (const Expr *Sub : T->subscripts())
         processReadsIn(Sub, AS);
-      if (isCandidate(T->array()) && T->rank() == 1) {
-        SymExpr E = SymExpr::fromAst(T->subscript(0));
-        if (isPlainSubscript(E))
-          addMustWrite(T->array(), Section::point(E));
+      if (isCandidate(T->array())) {
+        bool Bounded = false;
+        if (T->rank() == 1) {
+          SymExpr E = SymExpr::fromAst(T->subscript(0));
+          if (isPlainSubscript(E)) {
+            addMustWrite(T->array(), Section::point(E));
+            addMayWrite(T->array(), Section::point(E));
+            Bounded = true;
+          }
+        }
+        if (!Bounded)
+          addMayWrite(T->array(), Section::universe());
       }
       return;
     }
@@ -307,9 +334,12 @@ struct Privatizer::Walker {
     Env.bindVar(I, SymRange::of(Lo, Up));
     OpenLoops.push_back(DS);
     Must.emplace_back();
+    May.emplace_back();
     walkBody(DS->body());
     std::map<const Symbol *, Section> LoopWrites = std::move(Must.back());
     Must.pop_back();
+    std::map<const Symbol *, Section> LoopMay = std::move(May.back());
+    May.pop_back();
     OpenLoops.pop_back();
 
     // Aggregate this loop's MUST writes over its iteration space. A section
@@ -329,6 +359,12 @@ struct Privatizer::Walker {
         if (!Agg.isEmpty())
           addMustWrite(X, Agg);
       }
+    for (const auto &[X, S] : LoopMay) {
+      if (!UnitStep || VariesWithBody(S))
+        addMayWrite(X, Section::universe());
+      else
+        addMayWrite(X, Section::aggregateMay(S, I, Lo, Up, Env));
+    }
 
     // Scalars written by the loop body have unknown final values.
     for (const Symbol *W : BodyW.Writes)
@@ -350,6 +386,12 @@ struct Privatizer::Walker {
     // entry (trip count unknown, index values unknown) — except that a
     // consecutively-written array is *covered by itself* below.
     UseSet BodyU = Priv.Uses.bodyUses(WS->body());
+
+    // The while body is not walked statement by statement, so any candidate
+    // it writes has an unboundable MAY section.
+    for (auto &[X, St] : States)
+      if (BodyU.writes(X))
+        addMayWrite(X, Section::universe());
 
     // CW contribution (Sec. 2.2 + Sec. 5.1.2): single-indexed arrays
     // consecutively written in the while body cover [c+1 : p].
@@ -400,10 +442,33 @@ struct Privatizer::Walker {
         St.Exposed = true;
         St.Detail = "read inside call to " + CS->calleeName();
       }
+      if (U.writes(X))
+        addMayWrite(X, Section::universe());
     }
     for (const Symbol *W : U.Writes)
       if (!W->isArray())
         scalarWritten(W);
+  }
+
+  /// Call after the walk. True when copying the final iteration's private
+  /// copy of \p X back reproduces serial last-value semantics: every
+  /// iteration MUST-writes a section M that is invariant in the target loop
+  /// index (so each iteration overwrites the same elements with its own
+  /// values), and every MAY write lands inside M (so elements outside M keep
+  /// their pre-loop, copy-in values). MUST sections referencing scalars the
+  /// body writes were already dropped by scalarWritten, so a surviving M is
+  /// the same section on every iteration.
+  bool lastValueProvable(const Symbol *X) const {
+    auto MI = Must.front().find(X);
+    if (MI == Must.front().end())
+      return false;
+    const Section &M = MI->second;
+    if (M.isEmpty() || M.referencesVar(Target->indexVar()))
+      return false;
+    auto YI = May.front().find(X);
+    if (YI == May.front().end())
+      return true;
+    return Section::provablyContains(M, YI->second, Env);
   }
 
   void walkBody(const StmtList &Body) {
@@ -692,6 +757,7 @@ PrivatizationResult Privatizer::analyze(const DoStmt *L) {
   }
 
   // UER walk for the remaining candidates.
+  std::map<const Symbol *, bool> LastValue;
   {
     std::map<const Symbol *, ArrayState> WalkStates;
     for (auto &[X, St] : States)
@@ -699,8 +765,10 @@ PrivatizationResult Privatizer::analyze(const DoStmt *L) {
         WalkStates.emplace(X, St);
     Walker W(*this, L, WalkStates, Result);
     W.walkBody(L->body());
-    for (auto &[X, St] : WalkStates)
+    for (auto &[X, St] : WalkStates) {
       States[X] = St;
+      LastValue[X] = W.lastValueProvable(X);
+    }
   }
 
   // Liveness: arrays referenced outside the loop need a copy-out, which is
@@ -774,6 +842,9 @@ PrivatizationResult Privatizer::analyze(const DoStmt *L) {
     }
     O.Detail = St.Detail;
     O.LiveOut = ReferencedOutside(X);
+    auto LV = LastValue.find(X);
+    O.LastValueOk =
+        O.Privatizable && LV != LastValue.end() && LV->second;
     if (O.Privatizable) {
       ++priv_arrays_privatized;
       Result.Arrays.insert(X);

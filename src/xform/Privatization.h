@@ -54,6 +54,13 @@ struct ArrayPrivOutcome {
   /// True when the array is referenced outside the loop, so the runtime
   /// must copy the last iteration's private copy back.
   bool LiveOut = false;
+  /// True when copying the final iteration's private copy back provably
+  /// reproduces serial last-value semantics: the per-iteration MUST-written
+  /// section is invariant in the loop index and covers every MAY write, so
+  /// each iteration writes the same elements and everything else keeps its
+  /// pre-loop (copy-in) value. Live-out privatized arrays without this
+  /// proof keep the loop serial.
+  bool LastValueOk = false;
 };
 
 /// Scalar classification for a candidate parallel loop.

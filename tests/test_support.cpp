@@ -9,7 +9,10 @@
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/Saturating.h"
 #include "support/Timer.h"
+
+#include <limits>
 
 using namespace iaa;
 using namespace iaa::mf;
@@ -159,6 +162,43 @@ TEST(Support, StmtIdsAreDense) {
   EXPECT_EQ(Ids.size(), 3u);
   for (unsigned Id : Ids)
     EXPECT_LT(Id, P->numStmts());
+}
+
+TEST(Support, SaturatingMultiply) {
+  constexpr int64_t Max = std::numeric_limits<int64_t>::max();
+  constexpr int64_t Min = std::numeric_limits<int64_t>::min();
+
+  // In-range products are exact.
+  EXPECT_EQ(satMul(6, 7), 42);
+  EXPECT_EQ(satMul(-6, 7), -42);
+  EXPECT_EQ(satMul(0, Max), 0);
+  EXPECT_EQ(satMul(1, Min), Min);
+
+  // The profitability-guard shape: a huge trip count times a deeply nested
+  // body weight (16 per nesting level) must clamp, not wrap negative.
+  int64_t Weight = 2;
+  for (int Level = 0; Level < 20; ++Level)
+    Weight = satMul(16, Weight);
+  EXPECT_EQ(Weight, Max);
+  EXPECT_EQ(satMul(int64_t(1) << 40, Weight), Max);
+  EXPECT_GE(satMul(int64_t(1) << 40, int64_t(1) << 40), 1024)
+      << "a clamped estimate still clears any positive threshold";
+
+  // Sign handling at the extremes.
+  EXPECT_EQ(satMul(Max, 2), Max);
+  EXPECT_EQ(satMul(Max, -2), Min);
+  EXPECT_EQ(satMul(Min, 2), Min);
+  EXPECT_EQ(satMul(Min, -1), Max);
+}
+
+TEST(Support, SaturatingAdd) {
+  constexpr int64_t Max = std::numeric_limits<int64_t>::max();
+  constexpr int64_t Min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(satAdd(2, 3), 5);
+  EXPECT_EQ(satAdd(Max, 1), Max);
+  EXPECT_EQ(satAdd(Max, Max), Max);
+  EXPECT_EQ(satAdd(Min, -1), Min);
+  EXPECT_EQ(satAdd(Max, Min), -1);
 }
 
 } // namespace

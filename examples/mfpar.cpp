@@ -9,6 +9,7 @@
 //
 //   mfpar FILE.mf [--mode=full|noiaa|apo] [--run[=THREADS]] [--dump]
 //         [--schedule=static|dynamic|guided] [--chunk=N]
+//         [--audit=off|warn|strict] [--race-check]
 //         [--stats] [--trace=out.json] [--remarks=out.jsonl]
 //
 //   --mode     pipeline configuration (default full)
@@ -17,6 +18,12 @@
 //   --chunk    chunk size for the scheduler (default: policy-dependent)
 //   --dump     print the normalized program after the transformation passes
 //   --annotate print the program with !$iaa parallel do directives
+//   --audit    independently re-certify every parallel-marked loop before
+//              running it: warn reports the verdicts, strict additionally
+//              demotes every non-certified loop to serial (default off)
+//   --race-check run the program serially under the shadow-memory race
+//              checker and report every cross-iteration conflict the plans
+//              fail to discharge (exit code 3 when one is found)
 //   --stats    print the statistic counters and per-phase timings
 //   --trace    write a Chrome trace-event JSON file (chrome://tracing)
 //   --remarks  write optimization remarks as JSONL, one record per loop
@@ -31,6 +38,7 @@
 #include "support/Remarks.h"
 #include "support/Statistic.h"
 #include "support/Trace.h"
+#include "verify/PlanAudit.h"
 #include "xform/Parallelizer.h"
 #include "xform/Postpass.h"
 
@@ -46,7 +54,8 @@ static int usage() {
   std::fprintf(stderr,
                "usage: mfpar [FILE.mf] [--mode=full|noiaa|apo] "
                "[--run[=THREADS]] [--schedule=static|dynamic|guided] "
-               "[--chunk=N] [--dump] [--annotate] [--stats] "
+               "[--chunk=N] [--audit=off|warn|strict] [--race-check] "
+               "[--dump] [--annotate] [--stats] "
                "[--trace=FILE] [--remarks=FILE]\n");
   return 2;
 }
@@ -58,6 +67,8 @@ int main(int argc, char **argv) {
   unsigned Threads = 4;
   interp::Schedule Sched = interp::Schedule::Static;
   int64_t ChunkSize = 0;
+  verify::AuditMode Audit = verify::AuditMode::Off;
+  bool RaceCheck = false;
   bool Dump = false;
   bool Annotate = false;
   bool Stats = false;
@@ -90,6 +101,11 @@ int main(int argc, char **argv) {
       ChunkSize = std::atoll(Arg.c_str() + 8);
       if (ChunkSize <= 0)
         return usage();
+    } else if (Arg.rfind("--audit=", 0) == 0) {
+      if (!verify::parseAuditMode(Arg.substr(8), Audit))
+        return usage();
+    } else if (Arg == "--race-check") {
+      RaceCheck = true;
     } else if (Arg == "--dump") {
       Dump = true;
     } else if (Arg == "--annotate") {
@@ -145,6 +161,39 @@ int main(int argc, char **argv) {
   std::printf("property analysis: %.2f ms of %.2f ms pipeline time\n\n",
               R.PropertySeconds * 1e3, R.TotalSeconds * 1e3);
   std::printf("%s", R.str().c_str());
+
+  if (Audit != verify::AuditMode::Off) {
+    verify::PlanAuditor Auditor(*P);
+    verify::AuditResult A = Auditor.audit(R);
+    unsigned Demoted = verify::recordAudit(R, A, Audit);
+    std::printf("\n--- plan audit (%s) ---\n%s",
+                verify::auditModeName(Audit), A.str().c_str());
+    if (Demoted)
+      std::printf("%u non-certified loop%s demoted to serial\n", Demoted,
+                  Demoted == 1 ? "" : "s");
+  }
+
+  if (RaceCheck) {
+    interp::Interpreter I(*P);
+    interp::ExecOptions Opts;
+    Opts.Plans = &R;
+    Opts.RaceCheck = true;
+    interp::ExecStats CheckStats;
+    I.run(Opts, &CheckStats);
+    std::printf("\n--- shadow-memory race check ---\n");
+    if (CheckStats.RacesFound == 0) {
+      std::printf("no cross-iteration conflicts observed\n");
+    } else {
+      for (const interp::RaceRecord &Rec : CheckStats.Races)
+        std::printf("%s\n", Rec.str().c_str());
+      if (CheckStats.RacesFound > CheckStats.Races.size())
+        std::printf("... and %zu more\n",
+                    CheckStats.RacesFound - CheckStats.Races.size());
+      std::printf("%u conflict%s found\n", CheckStats.RacesFound,
+                  CheckStats.RacesFound == 1 ? "" : "s");
+      return 3;
+    }
+  }
 
   if (Dump) {
     std::printf("\n--- normalized program ---\n%s", P->str().c_str());

@@ -15,6 +15,7 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -139,6 +140,27 @@ std::set<unsigned> interp::deadPrivateIds(const xform::PipelineResult &Plans) {
 }
 
 //===----------------------------------------------------------------------===//
+// Race records
+//===----------------------------------------------------------------------===//
+
+const char *interp::raceKindName(RaceKind K) {
+  switch (K) {
+  case RaceKind::WriteWrite:         return "write-write";
+  case RaceKind::ReadAfterWrite:     return "read-after-write";
+  case RaceKind::WriteAfterRead:     return "write-after-read";
+  case RaceKind::ExposedPrivateRead: return "exposed-private-read";
+  case RaceKind::LastValueLoss:      return "last-value-loss";
+  }
+  return "?";
+}
+
+std::string RaceRecord::str() const {
+  return Loop + ": " + raceKindName(Kind) + " on " + Var + "[" +
+         std::to_string(Element) + "] between iterations " +
+         std::to_string(IterA) + " and " + std::to_string(IterB);
+}
+
+//===----------------------------------------------------------------------===//
 // Execution
 //===----------------------------------------------------------------------===//
 
@@ -233,6 +255,8 @@ private:
       return Value::ofReal(cast<RealLit>(E)->value());
     case ExprKind::VarRef: {
       const Symbol *S = cast<VarRef>(E)->symbol();
+      if (!Monitors.empty())
+        noteRead(S, 0);
       Buffer &B = bufferFor(S, F);
       return B.Kind == ScalarKind::Int ? Value::ofInt(B.I[0])
                                        : Value::ofReal(B.D[0]);
@@ -241,6 +265,8 @@ private:
       const auto *AR = cast<mf::ArrayRef>(E);
       Buffer &B = bufferFor(AR->array(), F);
       size_t Idx = linearIndex(AR, F);
+      if (!Monitors.empty())
+        noteRead(AR->array(), Idx);
       return B.Kind == ScalarKind::Int ? Value::ofInt(B.I[Idx])
                                        : Value::ofReal(B.D[Idx]);
     }
@@ -321,6 +347,8 @@ private:
 
   void store(const Expr *Target, Value V, Frame &F) {
     if (const auto *VR = dyn_cast<VarRef>(Target)) {
+      if (!Monitors.empty())
+        noteWrite(VR->symbol(), 0);
       Buffer &B = bufferFor(VR->symbol(), F);
       if (B.Kind == ScalarKind::Int)
         B.I[0] = V.asInt();
@@ -331,6 +359,8 @@ private:
     const auto *AR = cast<mf::ArrayRef>(Target);
     Buffer &B = bufferFor(AR->array(), F);
     size_t Idx = linearIndex(AR, F);
+    if (!Monitors.empty())
+      noteWrite(AR->array(), Idx);
     if (B.Kind == ScalarKind::Int)
       B.I[Idx] = V.asInt();
     else
@@ -338,11 +368,148 @@ private:
   }
 
   void setScalar(const Symbol *S, int64_t V, Frame &F) {
+    if (!Monitors.empty())
+      noteWrite(S, 0);
     Buffer &B = bufferFor(S, F);
     if (B.Kind == ScalarKind::Int)
       B.I[0] = V;
     else
       B.D[0] = static_cast<double>(V);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Shadow-memory race checking (ExecOptions::RaceCheck)
+  //===--------------------------------------------------------------------===//
+
+  /// Per-element iteration tags for one plan-marked loop executing under
+  /// the race checker. Accesses discharged by the plan's proof obligations
+  /// (the loop index, private scalars, reduction scalars) are ignored;
+  /// privatized arrays are only checked for the premises privatization
+  /// rests on (no exposed reads; live-out last value written by the final
+  /// iteration); everything else gets full last-writer/last-reader
+  /// conflict detection.
+  struct ShadowMonitor {
+    static constexpr int64_t NoIter = INT64_MIN;
+
+    std::string Label;
+    int64_t CurIter = 0;
+    int64_t FinalIter = 0;
+    std::set<unsigned> IgnoredScalars;
+    std::set<unsigned> PrivateIds;
+    struct Tags {
+      std::vector<int64_t> Writer;
+      /// Two most recent distinct reader iterations per element — enough to
+      /// catch a foreign read even when the current iteration also reads.
+      std::vector<std::array<int64_t, 2>> Readers;
+    };
+    std::unordered_map<unsigned, Tags> Shadow;
+  };
+
+  ShadowMonitor::Tags &shadowTags(ShadowMonitor &M, const Symbol *S) {
+    auto [It, Inserted] = M.Shadow.try_emplace(S->id());
+    if (Inserted) {
+      size_t N = Mem.buffer(S).size();
+      It->second.Writer.assign(N, ShadowMonitor::NoIter);
+      It->second.Readers.assign(
+          N, {ShadowMonitor::NoIter, ShadowMonitor::NoIter});
+    }
+    return It->second;
+  }
+
+  void recordRace(const ShadowMonitor &M, const Symbol *S, size_t Idx,
+                  int64_t IterA, int64_t IterB, RaceKind K) {
+    if (!Stats)
+      return;
+    ++Stats->RacesFound;
+    if (Stats->Races.size() < 64)
+      Stats->Races.push_back({M.Label, S->name(), Idx, IterA, IterB, K});
+  }
+
+  void noteRead(const Symbol *S, size_t Idx) {
+    for (ShadowMonitor *M : Monitors) {
+      if (!S->isArray() && M->IgnoredScalars.count(S->id()))
+        continue;
+      ShadowMonitor::Tags &T = shadowTags(*M, S);
+      int64_t W = T.Writer[Idx];
+      if (S->isArray() && M->PrivateIds.count(S->id())) {
+        // An element written by an *earlier* iteration and read now without
+        // a same-iteration write: under privatization the value depends on
+        // which worker ran the earlier iteration. A never-written element
+        // is benign — every worker's copy-in holds the pre-loop value.
+        if (W != ShadowMonitor::NoIter && W != M->CurIter)
+          recordRace(*M, S, Idx, W, M->CurIter,
+                     RaceKind::ExposedPrivateRead);
+        continue;
+      }
+      if (W != ShadowMonitor::NoIter && W != M->CurIter)
+        recordRace(*M, S, Idx, W, M->CurIter, RaceKind::ReadAfterWrite);
+      auto &R = T.Readers[Idx];
+      if (R[0] != M->CurIter && R[1] != M->CurIter) {
+        R[1] = R[0];
+        R[0] = M->CurIter;
+      }
+    }
+  }
+
+  void noteWrite(const Symbol *S, size_t Idx) {
+    for (ShadowMonitor *M : Monitors) {
+      if (!S->isArray() && M->IgnoredScalars.count(S->id()))
+        continue;
+      ShadowMonitor::Tags &T = shadowTags(*M, S);
+      if (S->isArray() && M->PrivateIds.count(S->id())) {
+        T.Writer[Idx] = M->CurIter; // Tracked for the last-value check only.
+        continue;
+      }
+      int64_t W = T.Writer[Idx];
+      if (W != ShadowMonitor::NoIter && W != M->CurIter)
+        recordRace(*M, S, Idx, W, M->CurIter, RaceKind::WriteWrite);
+      auto &R = T.Readers[Idx];
+      for (int64_t Rd : R)
+        if (Rd != ShadowMonitor::NoIter && Rd != M->CurIter)
+          recordRace(*M, S, Idx, Rd, M->CurIter, RaceKind::WriteAfterRead);
+      R = {ShadowMonitor::NoIter, ShadowMonitor::NoIter};
+      T.Writer[Idx] = M->CurIter;
+    }
+  }
+
+  /// Runs a plan-marked loop serially under a fresh shadow monitor. Nested
+  /// plan-marked loops push their own monitors, so every certification is
+  /// checked independently. Serial order makes the run bit-identical to an
+  /// unplanned execution — the checker only *observes*.
+  void execDoShadow(const DoStmt *DS, const xform::LoopPlan *Plan, int64_t Lo,
+                    int64_t Up, Frame &F) {
+    ShadowMonitor M;
+    M.Label = DS->label().empty() ? "<unlabeled>" : DS->label();
+    M.FinalIter = Up;
+    M.IgnoredScalars.insert(DS->indexVar()->id());
+    for (const Symbol *S : Plan->PrivateScalars)
+      M.IgnoredScalars.insert(S->id());
+    for (const Symbol *S : Plan->Reductions)
+      M.IgnoredScalars.insert(S->id());
+    for (const Symbol *S : Plan->PrivateArrays)
+      M.PrivateIds.insert(S->id());
+
+    Monitors.push_back(&M);
+    for (int64_t I = Lo; I <= Up; ++I) {
+      M.CurIter = I;
+      setScalar(DS->indexVar(), I, F);
+      execBody(DS->body(), F);
+    }
+    Monitors.pop_back();
+    setScalar(DS->indexVar(), Up + 1, F);
+
+    // Live-out privatized arrays: the writeback copies the final worker's
+    // private buffer, so any element whose last write is not in the final
+    // iteration would come back stale.
+    for (const Symbol *S : Plan->LiveOutArrays) {
+      auto It = M.Shadow.find(S->id());
+      if (It == M.Shadow.end())
+        continue;
+      const std::vector<int64_t> &W = It->second.Writer;
+      for (size_t E = 0; E < W.size(); ++E)
+        if (W[E] != ShadowMonitor::NoIter && W[E] != Up)
+          recordRace(M, S, E, W[E], Up, RaceKind::LastValueLoss);
+    }
   }
 
   void execBody(const StmtList &Body, Frame &F) {
@@ -400,11 +567,23 @@ private:
     double AdjustAtEntry = VirtualAdjust;
 
     const xform::LoopPlan *Plan = nullptr;
-    if (!F.InParallel && Opts.Plans && Opts.Threads > 1 && Step == 1)
+    if (!F.InParallel && Opts.Plans &&
+        (Opts.Threads > 1 || Opts.RaceCheck) && Step == 1)
       Plan = Opts.Plans->planFor(DS);
     int64_t NIter = Step > 0 ? (Up - Lo) / Step + 1 : (Lo - Up) / (-Step) + 1;
     if (NIter < 0)
       NIter = 0;
+
+    // Race checking replaces parallel execution: the plan-marked loop runs
+    // serially under shadow tags, bypassing the profitability guard so
+    // every certified plan is checked regardless of size.
+    if (Plan && Opts.RaceCheck && NIter >= 2) {
+      execDoShadow(DS, Plan, Lo, Up, F);
+      if (Timed)
+        Stats->LoopSeconds[DS->label()] +=
+            LoopTimer.seconds() - (VirtualAdjust - AdjustAtEntry);
+      return;
+    }
 
     if (!Plan || NIter < 2 ||
         satMul(NIter, bodyWeight(DS)) < Opts.MinParallelWork) {
@@ -655,6 +834,9 @@ private:
   ExecStats *Stats;
   std::vector<std::vector<int64_t>> DimExtents;
   std::map<const DoStmt *, int64_t> BodyWeights;
+  /// Active shadow monitors, innermost last (non-empty only under
+  /// ExecOptions::RaceCheck, inside plan-marked loops).
+  std::vector<ShadowMonitor *> Monitors;
   /// Created lazily on the first threaded parallel loop; its workers park
   /// on a condition variable between loops and are joined for good when the
   /// run finishes.

@@ -106,6 +106,40 @@ struct ExecOptions {
   /// Chunk size for the dispenser; 0 picks the policy default (static:
   /// ceil(NIter/Threads), dynamic: 1, guided: a floor of 1).
   int64_t ChunkSize = 0;
+  /// Shadow-memory race checking: every plan-marked loop runs serially
+  /// (bypassing the profitability guard) under per-element last-writer /
+  /// last-reader iteration tags, and every cross-iteration conflict not
+  /// covered by the plan's proof obligations is recorded in
+  /// ExecStats::Races. The ground truth the plan auditor is checked
+  /// against (see verify/PlanAudit.h).
+  bool RaceCheck = false;
+};
+
+/// Classification of one dynamically observed cross-iteration conflict.
+enum class RaceKind {
+  WriteWrite,         ///< Two iterations write the same shared element.
+  ReadAfterWrite,     ///< Flow: a later iteration reads an earlier write.
+  WriteAfterRead,     ///< Anti: a later iteration overwrites an earlier read.
+  ExposedPrivateRead, ///< A privatized array element is read before any
+                      ///< write of the same iteration (the copy-in value
+                      ///< would differ between workers).
+  LastValueLoss,      ///< A live-out privatized element's final write is not
+                      ///< in the final iteration (the writeback would lose
+                      ///< it).
+};
+
+const char *raceKindName(RaceKind K);
+
+/// One conflict found by the shadow-memory race checker.
+struct RaceRecord {
+  std::string Loop;   ///< Label of the monitored loop.
+  std::string Var;    ///< Conflicting variable.
+  size_t Element = 0; ///< Linearized element index (0 for scalars).
+  std::int64_t IterA = 0; ///< Earlier iteration of the pair.
+  std::int64_t IterB = 0; ///< Later iteration (or the final one).
+  RaceKind Kind = RaceKind::WriteWrite;
+
+  std::string str() const;
 };
 
 /// Per-run execution statistics. In simulated mode every time below is
@@ -134,6 +168,11 @@ struct ExecStats {
   /// values expose imbalance (also visible per-chunk in the trace).
   double ChunkSecondsSum = 0;
   double ChunkSecondsMax = 0;
+  /// Conflicts observed by the shadow-memory race checker
+  /// (ExecOptions::RaceCheck). Capped at a small number of stored records;
+  /// RacesFound counts every observation.
+  std::vector<RaceRecord> Races;
+  unsigned RacesFound = 0;
 };
 
 /// Runs \p P (starting at "main") against fresh memory; returns the final

@@ -9,7 +9,7 @@
 
 using namespace iaa;
 
-static const char *kindName(DiagKind Kind) {
+const char *iaa::diagKindName(DiagKind Kind) {
   switch (Kind) {
   case DiagKind::Error:
     return "error";
@@ -22,7 +22,16 @@ static const char *kindName(DiagKind Kind) {
 }
 
 std::string Diagnostic::str() const {
-  return Loc.str() + ": " + kindName(Kind) + ": " + Message;
+  const std::string Where = Range.isValid() ? Range.str() : Loc.str();
+  return Where + ": " + diagKindName(Kind) + ": " + Message;
+}
+
+std::optional<DiagKind> DiagnosticEngine::maxSeverity() const {
+  std::optional<DiagKind> Worst;
+  for (const Diagnostic &D : Diags)
+    if (!Worst || diagSeverityRank(D.Kind) < diagSeverityRank(*Worst))
+      Worst = D.Kind;
+  return Worst;
 }
 
 std::string DiagnosticEngine::str() const {

@@ -17,21 +17,33 @@
 
 #include "support/SourceLoc.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace iaa {
 
-/// Severity of a recorded diagnostic.
+/// Severity of a recorded diagnostic, most severe first.
 enum class DiagKind { Error, Warning, Note };
+
+const char *diagKindName(DiagKind Kind);
+
+/// Totally ordered severity: smaller ranks are more severe (Error < Warning
+/// < Note), so diagnostics sort most-important-first by rank.
+inline unsigned diagSeverityRank(DiagKind Kind) {
+  return static_cast<unsigned>(Kind);
+}
 
 /// One recorded diagnostic message.
 struct Diagnostic {
   DiagKind Kind;
   SourceLoc Loc;
   std::string Message;
+  /// Optional span the diagnostic covers; Loc remains the anchor position.
+  SourceRange Range;
 
-  /// Renders the diagnostic as "line:col: error: message".
+  /// Renders the diagnostic as "line:col: error: message", with the range
+  /// ("l:c-l:c") in place of the position when one was attached.
   std::string str() const;
 };
 
@@ -39,21 +51,38 @@ struct Diagnostic {
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message), {}});
     ++NumErrors;
   }
 
   void warning(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message), {}});
   }
 
   void note(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message), {}});
+  }
+
+  /// Range-carrying variants; the range's begin doubles as the anchor.
+  void error(SourceRange R, std::string Message) {
+    Diags.push_back({DiagKind::Error, R.Begin, std::move(Message), R});
+    ++NumErrors;
+  }
+
+  void warning(SourceRange R, std::string Message) {
+    Diags.push_back({DiagKind::Warning, R.Begin, std::move(Message), R});
+  }
+
+  void note(SourceRange R, std::string Message) {
+    Diags.push_back({DiagKind::Note, R.Begin, std::move(Message), R});
   }
 
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// The worst severity recorded, or none when empty.
+  std::optional<DiagKind> maxSeverity() const;
 
   /// All diagnostics joined by newlines, for test failure messages.
   std::string str() const;

@@ -15,6 +15,7 @@ const char *iaa::remarkKindName(Remark::Kind K) {
   switch (K) {
   case Remark::Kind::Parallelized: return "parallelized";
   case Remark::Kind::Missed:       return "missed";
+  case Remark::Kind::Audit:        return "audit";
   }
   return "?";
 }

@@ -29,6 +29,7 @@ struct Remark {
   enum class Kind {
     Parallelized, ///< The loop was marked parallel.
     Missed,       ///< The loop stayed serial; Reason says why.
+    Audit,        ///< Plan-auditor verdict for a parallel-marked loop.
   };
 
   /// Loop label ("<unlabeled>" when the source gave none).

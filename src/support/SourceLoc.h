@@ -37,6 +37,33 @@ struct SourceLoc {
   }
 };
 
+/// A half-open span of source positions, for diagnostics that underline a
+/// whole construct rather than one token. An invalid Begin makes the whole
+/// range invalid; End may equal Begin for a single-position range.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+  SourceRange(SourceLoc B, SourceLoc E) : Begin(B), End(E) {}
+
+  bool isValid() const { return Begin.isValid(); }
+
+  /// "l:c" for a single position, "l:c-l:c" for a span.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    if (!End.isValid() || End == Begin)
+      return Begin.str();
+    return Begin.str() + "-" + End.str();
+  }
+
+  friend bool operator==(const SourceRange &A, const SourceRange &B) {
+    return A.Begin == B.Begin && A.End == B.End;
+  }
+};
+
 } // namespace iaa
 
 #endif // IAA_SUPPORT_SOURCELOC_H

@@ -1,0 +1,76 @@
+//===- verify/PlanMutator.cpp - Seeded plan mutations for testing ---------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/PlanMutator.h"
+
+#include "mf/Program.h"
+
+using namespace iaa;
+using namespace iaa::verify;
+using namespace iaa::mf;
+
+const char *iaa::verify::mutationKindName(MutationKind K) {
+  switch (K) {
+  case MutationKind::DropPrivatization: return "drop-privatization";
+  case MutationKind::DropReduction:     return "drop-reduction";
+  case MutationKind::SkipLastValue:     return "skip-last-value";
+  case MutationKind::ForceParallel:     return "force-parallel";
+  }
+  return "?";
+}
+
+bool iaa::verify::applyMutation(xform::PipelineResult &R, const Program &P,
+                                const Mutation &M) {
+  const DoStmt *L = P.findLoop(M.Loop);
+  if (!L)
+    return false;
+  auto PlanIt = R.Plans.find(L);
+  if (PlanIt == R.Plans.end())
+    return false;
+  xform::LoopPlan &Plan = PlanIt->second;
+
+  const Symbol *Sym = nullptr;
+  if (M.Kind != MutationKind::ForceParallel) {
+    for (const Symbol *S : P.symbols())
+      if (S->name() == M.Symbol) {
+        Sym = S;
+        break;
+      }
+    if (!Sym)
+      return false;
+  }
+
+  auto MarkParallel = [&] {
+    Plan.Parallel = true;
+    for (xform::LoopReport &Rep : R.Loops)
+      if (Rep.Loop == L) {
+        Rep.Parallel = true;
+        Rep.WhyNot.clear();
+      }
+  };
+
+  switch (M.Kind) {
+  case MutationKind::DropPrivatization:
+    if (!Plan.PrivateArrays.erase(Sym))
+      return false;
+    Plan.LiveOutArrays.erase(Sym);
+    break;
+  case MutationKind::DropReduction:
+    if (!Plan.Reductions.erase(Sym))
+      return false;
+    break;
+  case MutationKind::SkipLastValue:
+    Plan.PrivateArrays.insert(Sym);
+    Plan.LiveOutArrays.insert(Sym);
+    MarkParallel();
+    break;
+  case MutationKind::ForceParallel:
+    MarkParallel();
+    break;
+  }
+  return true;
+}

@@ -1,0 +1,61 @@
+//===- verify/PlanMutator.h - Seeded plan mutations for testing -*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded mutations that corrupt a pipeline result the way a planner bug
+/// would: dropping a privatization, dropping a recognized reduction,
+/// claiming an unproved last-value writeback, or force-marking a loop
+/// parallel past a failed dependence proof. The differential harness
+/// applies one mutation at a time and asserts that the plan auditor flags
+/// it statically AND the shadow-memory race checker confirms it
+/// dynamically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_VERIFY_PLANMUTATOR_H
+#define IAA_VERIFY_PLANMUTATOR_H
+
+#include "xform/Parallelizer.h"
+
+#include <string>
+
+namespace iaa {
+namespace verify {
+
+enum class MutationKind {
+  /// Remove an array from the plan's privatized (and live-out) sets, as if
+  /// the privatizer never ran: its accesses become shared.
+  DropPrivatization,
+  /// Remove a scalar from the plan's reduction set: the s = s + e updates
+  /// become unprotected shared-scalar writes.
+  DropReduction,
+  /// Claim the last-value premise for a live-out array the planner refused
+  /// to privatize (adds it to PrivateArrays/LiveOutArrays and force-marks
+  /// the loop parallel).
+  SkipLastValue,
+  /// Force-mark a serial loop parallel, as if a dependence or injectivity
+  /// proof succeeded when it did not (Symbol is ignored).
+  ForceParallel,
+};
+
+const char *mutationKindName(MutationKind K);
+
+struct Mutation {
+  MutationKind Kind = MutationKind::ForceParallel;
+  std::string Loop;   ///< Label of the loop to corrupt.
+  std::string Symbol; ///< Array/scalar name (unused for ForceParallel).
+};
+
+/// Applies \p M to \p R in place. Returns false when the loop or symbol
+/// does not exist in \p P (the result is then unchanged).
+bool applyMutation(xform::PipelineResult &R, const mf::Program &P,
+                   const Mutation &M);
+
+} // namespace verify
+} // namespace iaa
+
+#endif // IAA_VERIFY_PLANMUTATOR_H

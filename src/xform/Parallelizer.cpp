@@ -288,6 +288,7 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
   }
 
   Result.TotalSeconds = Total.seconds();
+  Result.ErrorCount = Diags.errorCount();
   Result.PropertySeconds = PropTimer.seconds();
   Result.PhaseSeconds = Phases.seconds();
   Result.PhaseSeconds.emplace_back("property-analysis", PropTimer.seconds());

@@ -90,6 +90,18 @@ struct PipelineResult {
   std::vector<std::pair<std::string, double>> PhaseSeconds;
   /// One optimization remark per analyzed loop (backs each WhyNot string).
   std::vector<Remark> Remarks;
+  /// Diagnostics emitted by the in-pipeline normalization passes.
+  unsigned ErrorCount = 0;
+
+  /// Per-loop verdict of the independent plan auditor (verify::recordAudit
+  /// fills this; empty unless an audit ran).
+  struct AuditOutcome {
+    std::string Loop;    ///< Loop label.
+    std::string Verdict; ///< "certified", "rejected", or "unknown".
+    bool Demoted = false; ///< Plan demoted to serial (--audit=strict).
+    std::string Detail;  ///< Why the loop is not certified.
+  };
+  std::vector<AuditOutcome> AuditOutcomes;
 
   /// The plan for \p L (null when the loop is serial).
   const LoopPlan *planFor(const mf::DoStmt *L) const {

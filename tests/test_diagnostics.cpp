@@ -1,0 +1,104 @@
+//===- tests/test_diagnostics.cpp - Diagnostics engine tests --------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/Diagnostics.h"
+#include "xform/Parallelizer.h"
+
+using namespace iaa;
+using iaa::test::parseOrDie;
+
+namespace {
+
+TEST(Diagnostics, SeverityOrdering) {
+  // Error outranks Warning outranks Note: smaller rank = more severe.
+  EXPECT_LT(diagSeverityRank(DiagKind::Error),
+            diagSeverityRank(DiagKind::Warning));
+  EXPECT_LT(diagSeverityRank(DiagKind::Warning),
+            diagSeverityRank(DiagKind::Note));
+
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.maxSeverity().has_value());
+  Diags.note({1, 1}, "context");
+  EXPECT_EQ(*Diags.maxSeverity(), DiagKind::Note);
+  Diags.warning({2, 1}, "suspicious");
+  EXPECT_EQ(*Diags.maxSeverity(), DiagKind::Warning);
+  Diags.error({3, 1}, "broken");
+  EXPECT_EQ(*Diags.maxSeverity(), DiagKind::Error);
+  // Severity never decreases when lower-severity entries follow.
+  Diags.note({4, 1}, "more context");
+  EXPECT_EQ(*Diags.maxSeverity(), DiagKind::Error);
+}
+
+TEST(Diagnostics, KindNames) {
+  EXPECT_STREQ(diagKindName(DiagKind::Error), "error");
+  EXPECT_STREQ(diagKindName(DiagKind::Warning), "warning");
+  EXPECT_STREQ(diagKindName(DiagKind::Note), "note");
+}
+
+TEST(Diagnostics, PointFormatting) {
+  Diagnostic D{DiagKind::Error, {4, 7}, "unexpected token", {}};
+  EXPECT_EQ(D.str(), "4:7: error: unexpected token");
+
+  Diagnostic Unknown{DiagKind::Warning, {}, "somewhere", {}};
+  EXPECT_EQ(Unknown.str(), "<unknown>: warning: somewhere");
+}
+
+TEST(Diagnostics, RangeFormatting) {
+  SourceRange R({2, 3}, {2, 11});
+  EXPECT_TRUE(R.isValid());
+  EXPECT_EQ(R.str(), "2:3-2:11");
+
+  // A collapsed range renders as its single position.
+  EXPECT_EQ(SourceRange({5, 1}).str(), "5:1");
+  EXPECT_EQ(SourceRange().str(), "<unknown>");
+
+  DiagnosticEngine Diags;
+  Diags.error(R, "malformed subscript");
+  ASSERT_EQ(Diags.diagnostics().size(), 1u);
+  const Diagnostic &D = Diags.diagnostics().front();
+  // The range's begin doubles as the anchor position.
+  EXPECT_EQ(D.Loc, (SourceLoc{2, 3}));
+  EXPECT_EQ(D.Range, R);
+  EXPECT_EQ(D.str(), "2:3-2:11: error: malformed subscript");
+}
+
+TEST(Diagnostics, ErrorCountAndStr) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+
+  Diags.warning({1, 1}, "w");
+  EXPECT_FALSE(Diags.hasErrors()) << "warnings must not count as errors";
+
+  Diags.error({2, 2}, "e1");
+  Diags.error(SourceRange({3, 1}, {3, 9}), "e2");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 2u);
+
+  const std::string All = Diags.str();
+  EXPECT_NE(All.find("1:1: warning: w"), std::string::npos);
+  EXPECT_NE(All.find("2:2: error: e1"), std::string::npos);
+  EXPECT_NE(All.find("3:1-3:9: error: e2"), std::string::npos);
+}
+
+TEST(Diagnostics, ErrorCountPlumbedIntoPipelineResult) {
+  // A clean program flows zero in-pipeline diagnostics into the result.
+  auto P = parseOrDie(R"(program t
+    integer i, n
+    real a(100)
+    n = 100
+    do i = 1, n
+      a(i) = i * 0.5
+    end do
+  end)");
+  xform::PipelineResult R = xform::parallelize(*P, xform::PipelineMode::Full);
+  EXPECT_EQ(R.ErrorCount, 0u);
+}
+
+} // namespace

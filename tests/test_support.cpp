@@ -52,7 +52,7 @@ TEST(Support, DiagnosticsFormatting) {
   DiagnosticEngine D;
   D.error({3, 7}, "bad thing");
   D.warning({1, 1}, "odd thing");
-  D.note({}, "context");
+  D.note(SourceLoc{}, "context");
   EXPECT_TRUE(D.hasErrors());
   EXPECT_EQ(D.errorCount(), 1u);
   EXPECT_EQ(D.diagnostics().size(), 3u);

@@ -9,7 +9,7 @@
 //
 //   mfpar FILE.mf [--mode=full|noiaa|apo] [--run[=THREADS]] [--dump]
 //         [--schedule=static|dynamic|guided] [--chunk=N]
-//         [--audit=off|warn|strict] [--race-check]
+//         [--audit=off|warn|strict] [--race-check] [--runtime-check[=on|off]]
 //         [--stats] [--trace=out.json] [--remarks=out.jsonl]
 //
 //   --mode     pipeline configuration (default full)
@@ -24,6 +24,11 @@
 //   --race-check run the program serially under the shadow-memory race
 //              checker and report every cross-iteration conflict the plans
 //              fail to discharge (exit code 3 when one is found)
+//   --runtime-check inspector/executor mode for --run: loops the pipeline
+//              emitted as parallel *conditional on runtime checks* have
+//              their index arrays inspected before first execution and run
+//              parallel when every check passes (default off; plain
+//              --runtime-check means on)
 //   --stats    print the statistic counters and per-phase timings
 //   --trace    write a Chrome trace-event JSON file (chrome://tracing)
 //   --remarks  write optimization remarks as JSONL, one record per loop
@@ -42,7 +47,9 @@
 #include "xform/Parallelizer.h"
 #include "xform/Postpass.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -55,9 +62,34 @@ static int usage() {
                "usage: mfpar [FILE.mf] [--mode=full|noiaa|apo] "
                "[--run[=THREADS]] [--schedule=static|dynamic|guided] "
                "[--chunk=N] [--audit=off|warn|strict] [--race-check] "
-               "[--dump] [--annotate] [--stats] "
+               "[--runtime-check[=on|off]] [--dump] [--annotate] [--stats] "
                "[--trace=FILE] [--remarks=FILE]\n");
   return 2;
+}
+
+/// Rejecting an unrecognized flag value silently (exit 2 with nothing but
+/// the usage line) cost real debugging time: --schedule=gided would run the
+/// default schedule's numbers. Every value error now names the flag, the
+/// offending value, and what would have been accepted.
+static int badValue(const char *Flag, const std::string &Value,
+                    const char *Expected) {
+  std::fprintf(stderr, "mfpar: invalid value '%s' for %s (expected %s)\n",
+               Value.c_str(), Flag, Expected);
+  return usage();
+}
+
+/// Strict base-10 parse of an entire string: "4x" and "" are errors, not 4
+/// and 0 the way atoi/atoll would read them.
+static bool parseInt(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
 }
 
 int main(int argc, char **argv) {
@@ -69,6 +101,7 @@ int main(int argc, char **argv) {
   int64_t ChunkSize = 0;
   verify::AuditMode Audit = verify::AuditMode::Off;
   bool RaceCheck = false;
+  bool RuntimeChecks = false;
   bool Dump = false;
   bool Annotate = false;
   bool Stats = false;
@@ -86,26 +119,38 @@ int main(int argc, char **argv) {
       else if (M == "apo")
         Mode = xform::PipelineMode::Apo;
       else
-        return usage();
+        return badValue("--mode", M, "full, noiaa, or apo");
     } else if (Arg == "--run") {
       Run = true;
     } else if (Arg.rfind("--run=", 0) == 0) {
       Run = true;
-      Threads = static_cast<unsigned>(std::atoi(Arg.c_str() + 6));
-      if (Threads == 0)
-        return usage();
+      int64_t T = 0;
+      if (!parseInt(Arg.substr(6), T) || T <= 0 || T > 1024)
+        return badValue("--run", Arg.substr(6),
+                        "a thread count between 1 and 1024");
+      Threads = static_cast<unsigned>(T);
     } else if (Arg.rfind("--schedule=", 0) == 0) {
       if (!interp::parseSchedule(Arg.substr(11), Sched))
-        return usage();
+        return badValue("--schedule", Arg.substr(11),
+                        "static, dynamic, or guided");
     } else if (Arg.rfind("--chunk=", 0) == 0) {
-      ChunkSize = std::atoll(Arg.c_str() + 8);
-      if (ChunkSize <= 0)
-        return usage();
+      if (!parseInt(Arg.substr(8), ChunkSize) || ChunkSize <= 0)
+        return badValue("--chunk", Arg.substr(8), "a positive integer");
     } else if (Arg.rfind("--audit=", 0) == 0) {
       if (!verify::parseAuditMode(Arg.substr(8), Audit))
-        return usage();
+        return badValue("--audit", Arg.substr(8), "off, warn, or strict");
     } else if (Arg == "--race-check") {
       RaceCheck = true;
+    } else if (Arg == "--runtime-check") {
+      RuntimeChecks = true;
+    } else if (Arg.rfind("--runtime-check=", 0) == 0) {
+      std::string V = Arg.substr(16);
+      if (V == "on")
+        RuntimeChecks = true;
+      else if (V == "off")
+        RuntimeChecks = false;
+      else
+        return badValue("--runtime-check", V, "on or off");
     } else if (Arg == "--dump") {
       Dump = true;
     } else if (Arg == "--annotate") {
@@ -121,6 +166,7 @@ int main(int argc, char **argv) {
       if (RemarksPath.empty())
         return usage();
     } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "mfpar: unknown option '%s'\n", Arg.c_str());
       return usage();
     } else {
       Path = Arg;
@@ -214,6 +260,7 @@ int main(int argc, char **argv) {
     Par.Threads = Threads;
     Par.Sched = Sched;
     Par.ChunkSize = ChunkSize;
+    Par.RuntimeChecks = RuntimeChecks;
     Par.Simulate = true; // Works on any host core count.
     interp::ExecStats ParStats;
     interp::Memory Parallel = I.run(Par, &ParStats);
@@ -227,6 +274,19 @@ int main(int argc, char **argv) {
                         Parallel.checksumExcluding(Dead)
                     ? "matches serial"
                     : "DIVERGES");
+    if (RuntimeChecks) {
+      std::printf("runtime checks: %u inspection%s run, %u cached verdict%s, "
+                  "%u serial fallback%s\n",
+                  ParStats.InspectionsRun,
+                  ParStats.InspectionsRun == 1 ? "" : "s",
+                  ParStats.InspectionsCached,
+                  ParStats.InspectionsCached == 1 ? "" : "s",
+                  ParStats.RuntimeCheckFails,
+                  ParStats.RuntimeCheckFails == 1 ? "" : "s");
+      for (const interp::ExecStats::RuntimeDecision &D :
+           ParStats.RuntimeDecisions)
+        std::printf("  %s\n", D.str().c_str());
+    }
   }
 
   if (!RemarksPath.empty()) {

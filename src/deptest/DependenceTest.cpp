@@ -63,6 +63,50 @@ const char *iaa::deptest::testKindName(TestKind K) {
   return "?";
 }
 
+const char *iaa::deptest::runtimeCheckKindName(RuntimeCheckKind K) {
+  switch (K) {
+  case RuntimeCheckKind::InjectiveOnRange:       return "injective-on-range";
+  case RuntimeCheckKind::MonotonicNonDecreasing: return "monotonic";
+  case RuntimeCheckKind::BoundsWithin:           return "bounds-within";
+  case RuntimeCheckKind::OffsetLengthDisjoint:   return "offset-length-disjoint";
+  }
+  return "?";
+}
+
+std::string RuntimeCheck::str() const {
+  auto Adj = [](int64_t V) {
+    if (V == 0)
+      return std::string();
+    return (V > 0 ? "+" : "") + std::to_string(V);
+  };
+  std::string S = runtimeCheckKindName(Kind);
+  S += "(" + (Index ? Index->name() : std::string("?"));
+  switch (Kind) {
+  case RuntimeCheckKind::InjectiveOnRange:
+  case RuntimeCheckKind::MonotonicNonDecreasing:
+    S += "[lo" + Adj(LoAdjust) + ":up" + Adj(UpAdjust) + "]";
+    break;
+  case RuntimeCheckKind::BoundsWithin:
+    S += "[lo" + Adj(LoAdjust) + ":up" + Adj(UpAdjust) + "] in [" +
+         std::to_string(LoBound) + ":" +
+         (BoundedArray ? "extent(" + BoundedArray->name() + ")"
+                       : std::to_string(UpBound)) +
+         "]";
+    break;
+  case RuntimeCheckKind::OffsetLengthDisjoint:
+    S += ", start " + Index->name() + "(i)" + Adj(AccessLo) + ", end";
+    if (HasHiLen)
+      S += " " + Index->name() + "(i)+" + (Length ? Length->name() : "?") +
+           "(i)" + Adj(AccessHiLen);
+    if (HasHiConst)
+      S += std::string(HasHiLen ? " and" : "") + " " + Index->name() + "(i)" +
+           Adj(AccessHiConst);
+    break;
+  }
+  S += ")";
+  return S;
+}
+
 namespace {
 
 /// Collects array references in \p E (reads).
@@ -349,6 +393,11 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
     }
   }
 
+  // Runtime-check obligations that would settle the dependence if an
+  // inspector established them for the actual index-array contents.
+  // Attached to the outcome only when every static tier fails.
+  std::vector<RuntimeCheck> Cands;
+
   // --- Tier 4 (checked for every rank): identical subscript q(f(i)) in
   // some dimension with q injective over the iteration space. Hoisted here
   // so rank-2 accesses like z(k, ind(j)) benefit from it as well.
@@ -407,11 +456,42 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
         O.Detail = "subscript " + Q->name() + "(...) is strictly increasing";
         return O;
       }
+      // Neither injectivity nor strict monotonicity was provable from the
+      // program text (Unknown, not disproven). For the plain gather shape
+      // q(i + c) with q untouched by the body, both are decidable by an
+      // O(n) scan of q's contents just before the loop runs: record the
+      // obligations so the planner can emit a runtime-conditional plan.
+      if (Coeff == 1 && Rest.isConstant() && !BodyW.writes(Q) &&
+          Q->elementKind() == ScalarKind::Int && Q->rank() == 1) {
+        int64_t Shift = Rest.constValue();
+        RuntimeCheck Inj;
+        Inj.Kind = RuntimeCheckKind::InjectiveOnRange;
+        Inj.Index = Q;
+        Inj.LoAdjust = Inj.UpAdjust = Shift;
+        RuntimeCheck Bd;
+        Bd.Kind = RuntimeCheckKind::BoundsWithin;
+        Bd.Index = Q;
+        Bd.LoAdjust = Bd.UpAdjust = Shift;
+        Bd.LoBound = 1;
+        bool HaveBound = false;
+        if (X->rank() == 1) {
+          Bd.BoundedArray = X;
+          HaveBound = true;
+        } else if (SymExpr Ext = SymExpr::fromAst(X->extent(D));
+                   Ext.isConstant()) {
+          Bd.UpBound = Ext.constValue();
+          HaveBound = true;
+        }
+        Cands.push_back(Inj);
+        if (HaveBound)
+          Cands.push_back(Bd);
+      }
     }
   }
 
   if (X->rank() != 1) {
     O.Detail = "multi-dimensional access with no distinct dimension";
+    O.RuntimeCandidates = std::move(Cands);
     return O;
   }
 
@@ -526,9 +606,89 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
           return O;
         }
       }
+
+      // Runtime-checkable fallback: every access range of the common
+      // CRS/CCS shape [ptr(i)+a : ptr(i)+len(i)+b] (or a constant-offset
+      // end) is disjoint from the next iteration's iff ptr is
+      // non-decreasing, len non-negative, and each segment ends before the
+      // next one starts -- all O(n) inspectable when CFD/CFB verification
+      // came back Unknown. Skipped when tier 4 already recorded an
+      // injectivity obligation: that alone discharges the dependence, and
+      // the inspector requires every recorded check to pass, so stacking
+      // the strictly stronger monotonicity demand on top would reject
+      // index data (e.g. a permutation) the weaker obligation accepts.
+      if (!Cands.empty())
+        Candidates.clear();
+      for (const Symbol *Ptr : Candidates) {
+        if (Ptr->elementKind() != ScalarKind::Int || Ptr->rank() != 1 ||
+            BodyW.writes(Ptr))
+          continue;
+        SymExpr PtrAtI = SymExpr::arrayElem(Ptr, {SymExpr::var(I)});
+        const Symbol *Len = nullptr;
+        bool Parsed = true, Any = false;
+        bool HasHiLen = false, HasHiConst = false;
+        int64_t MinLo = 0, MaxHiLen = 0, MaxHiConst = 0;
+        for (const Range &Rg : Ranges) {
+          SymExpr LoD = Rg.Lo - PtrAtI;
+          if (!LoD.isConstant()) {
+            Parsed = false;
+            break;
+          }
+          SymExpr HiD = Rg.Hi - PtrAtI;
+          int64_t HiC = HiD.constantTerm();
+          bool HiLen = false;
+          if (!HiD.isConstant()) {
+            // The end must be exactly ptr(i) + len(i) + c.
+            if (HiD.terms().size() != 1) {
+              Parsed = false;
+              break;
+            }
+            const auto &Term = HiD.terms().begin()->second;
+            const AtomRef &At = Term.first;
+            const Symbol *Y =
+                At->kind() == AtomKind::ArrayElem ? At->symbol() : nullptr;
+            if (Term.second != 1 || !Y || At->operands().size() != 1 ||
+                !At->operands()[0].equals(SymExpr::var(I)) ||
+                Y->elementKind() != ScalarKind::Int || Y->rank() != 1 ||
+                BodyW.writes(Y) || (Len && Y != Len)) {
+              Parsed = false;
+              break;
+            }
+            Len = Y;
+            HiLen = true;
+          }
+          MinLo = Any ? std::min(MinLo, LoD.constValue()) : LoD.constValue();
+          Any = true;
+          if (HiLen) {
+            MaxHiLen = HasHiLen ? std::max(MaxHiLen, HiC) : HiC;
+            HasHiLen = true;
+          } else {
+            MaxHiConst = HasHiConst ? std::max(MaxHiConst, HiC) : HiC;
+            HasHiConst = true;
+          }
+        }
+        if (!Parsed || !Any)
+          continue;
+        RuntimeCheck Mono;
+        Mono.Kind = RuntimeCheckKind::MonotonicNonDecreasing;
+        Mono.Index = Ptr;
+        Cands.push_back(Mono);
+        RuntimeCheck OL;
+        OL.Kind = RuntimeCheckKind::OffsetLengthDisjoint;
+        OL.Index = Ptr;
+        OL.Length = Len;
+        OL.AccessLo = MinLo;
+        OL.HasHiLen = HasHiLen;
+        OL.AccessHiLen = MaxHiLen;
+        OL.HasHiConst = HasHiConst;
+        OL.AccessHiConst = MaxHiConst;
+        Cands.push_back(OL);
+        break;
+      }
     }
   }
 
   O.Detail = "no test disproved the dependence";
+  O.RuntimeCandidates = std::move(Cands);
   return O;
 }

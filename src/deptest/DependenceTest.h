@@ -56,6 +56,50 @@ enum class TestKind {
 
 const char *testKindName(TestKind K);
 
+/// A property the static analysis left Unknown but that is decidable by an
+/// O(n) inspection of the index array's contents at run time.
+enum class RuntimeCheckKind {
+  InjectiveOnRange,       ///< Index values pairwise distinct on the window.
+  MonotonicNonDecreasing, ///< Index(p) <= Index(p+1) on the window.
+  BoundsWithin,           ///< Index values within [LoBound, UpBound].
+  OffsetLengthDisjoint,   ///< Per-iteration segments pairwise disjoint.
+};
+
+const char *runtimeCheckKindName(RuntimeCheckKind K);
+
+/// One runtime-check obligation attached to a loop plan. The inspected
+/// window is Index positions [lo(L)+LoAdjust, up(L)+UpAdjust], where lo/up
+/// are the loop bounds evaluated at run time.
+struct RuntimeCheck {
+  RuntimeCheckKind Kind = RuntimeCheckKind::InjectiveOnRange;
+  /// The index array whose contents decide the property.
+  const mf::Symbol *Index = nullptr;
+  /// OffsetLengthDisjoint: the segment-length array (null when lengths do
+  /// not participate).
+  const mf::Symbol *Length = nullptr;
+  /// Inspected window, relative to the loop bounds.
+  int64_t LoAdjust = 0;
+  int64_t UpAdjust = 0;
+  /// BoundsWithin: required value range. When BoundedArray is set the upper
+  /// bound is that rank-1 array's runtime extent instead of UpBound (extents
+  /// may be symbolic at analysis time but are concrete once allocated).
+  int64_t LoBound = 0;
+  int64_t UpBound = 0;
+  const mf::Symbol *BoundedArray = nullptr;
+  /// OffsetLengthDisjoint: iteration i accesses positions starting at
+  /// Index(i)+AccessLo and ending at Index(i)+Length(i)+AccessHiLen and/or
+  /// Index(i)+AccessHiConst; disjointness requires every end to precede the
+  /// next iteration's start.
+  int64_t AccessLo = 0;
+  bool HasHiLen = false;
+  int64_t AccessHiLen = 0;
+  bool HasHiConst = false;
+  int64_t AccessHiConst = 0;
+
+  /// Stable rendering, also used as the dedup key.
+  std::string str() const;
+};
+
 /// Per-array outcome of dependence testing on one loop.
 struct ArrayDepOutcome {
   const mf::Symbol *Array = nullptr;
@@ -64,6 +108,12 @@ struct ArrayDepOutcome {
   /// Property abbreviations used ("CFD", "CFB", "INJ", "CFV"), if any.
   std::vector<std::string> PropertiesUsed;
   std::string Detail;
+  /// When the array stays dependent, the runtime checks that would settle
+  /// it: if an inspector establishes all of them for the actual index-array
+  /// contents, different iterations touch distinct elements and the loop
+  /// may run in parallel (serial fallback otherwise). Empty when no
+  /// inspectable shape was recognized.
+  std::vector<RuntimeCheck> RuntimeCandidates;
 };
 
 /// Result of testing one loop.

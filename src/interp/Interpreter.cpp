@@ -8,6 +8,8 @@
 #include "interp/Interpreter.h"
 
 #include "analysis/GlobalConstants.h"
+#include "analysis/SymbolUses.h"
+#include "interp/Inspector.h"
 #include "interp/ThreadPool.h"
 #include "support/Saturating.h"
 #include "support/Statistic.h"
@@ -20,6 +22,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 
 using namespace iaa;
 using namespace iaa::interp;
@@ -29,6 +32,11 @@ using namespace iaa::mf;
 IAA_STAT(interp_runs, "Interpreter runs");
 IAA_STAT(interp_parallel_loop_runs, "Loop invocations executed in parallel");
 IAA_STAT(interp_chunks_run, "Iteration chunks executed by parallel loops");
+IAA_STAT(interp_inspections_run, "Fresh runtime-check inspections executed");
+IAA_STAT(interp_inspections_cached,
+         "Runtime-check verdicts served from the version cache");
+IAA_STAT(interp_runtime_check_fails,
+         "Runtime-check decisions that fell back to serial");
 
 namespace {
 
@@ -131,11 +139,18 @@ double Memory::checksumExcluding(const std::set<unsigned> &ExcludeIds) const {
 
 std::set<unsigned> interp::deadPrivateIds(const xform::PipelineResult &Plans) {
   std::set<unsigned> Ids;
-  for (const auto &[Loop, Plan] : Plans.Plans)
-    if (Plan.Parallel)
-      for (const mf::Symbol *S : Plan.PrivateArrays)
-        if (!Plan.LiveOutArrays.count(S))
-          Ids.insert(S->id());
+  for (const auto &[Loop, Plan] : Plans.Plans) {
+    // Runtime-conditional plans privatize the same arrays when their
+    // inspection passes; after a serial fallback the contents are the
+    // (well-defined) serial values, but excluding them keeps the digest
+    // comparable whichever way the dispatch went.
+    if (!Plan.Parallel &&
+        !(Plan.RuntimeConditional && !Plan.RuntimeChecks.empty()))
+      continue;
+    for (const mf::Symbol *S : Plan.PrivateArrays)
+      if (!Plan.LiveOutArrays.count(S))
+        Ids.insert(S->id());
+  }
   return Ids;
 }
 
@@ -158,6 +173,17 @@ std::string RaceRecord::str() const {
   return Loop + ": " + raceKindName(Kind) + " on " + Var + "[" +
          std::to_string(Element) + "] between iterations " +
          std::to_string(IterA) + " and " + std::to_string(IterB);
+}
+
+std::string ExecStats::RuntimeDecision::str() const {
+  std::string S = Loop + ": ";
+  S += Pass ? "inspection passed, parallel dispatch"
+            : "runtime check failed, serial fallback";
+  if (Cached)
+    S += " (cached verdict)";
+  if (!Pass && !Detail.empty())
+    S += " [" + Detail + "]";
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
@@ -350,6 +376,8 @@ private:
       if (!Monitors.empty())
         noteWrite(VR->symbol(), 0);
       Buffer &B = bufferFor(VR->symbol(), F);
+      if (!F.InParallel)
+        ++B.Version;
       if (B.Kind == ScalarKind::Int)
         B.I[0] = V.asInt();
       else
@@ -361,6 +389,12 @@ private:
     size_t Idx = linearIndex(AR, F);
     if (!Monitors.empty())
       noteWrite(AR->array(), Idx);
+    // Serial-context writes bump the buffer's version (inspector-cache
+    // key). Workers skip the bump — shared-buffer writes from inside a
+    // parallel loop would race on the counter; execDo bumps the loop's
+    // whole write set once after the join instead.
+    if (!F.InParallel)
+      ++B.Version;
     if (B.Kind == ScalarKind::Int)
       B.I[Idx] = V.asInt();
     else
@@ -371,6 +405,8 @@ private:
     if (!Monitors.empty())
       noteWrite(S, 0);
     Buffer &B = bufferFor(S, F);
+    if (!F.InParallel)
+      ++B.Version;
     if (B.Kind == ScalarKind::Int)
       B.I[0] = V;
     else
@@ -574,6 +610,21 @@ private:
     if (NIter < 0)
       NIter = 0;
 
+    // Inspector/executor: a statically-serial loop carrying a
+    // runtime-conditional plan is inspected before its first execution and
+    // dispatched parallel only when every check passes against the actual
+    // index-array contents; a failed (or structurally impossible)
+    // inspection falls through to the serial path below, which is always
+    // sound. Race checking deliberately skips conditional plans — they are
+    // not parallel-marked, so there is no certification to validate.
+    if (!Plan && !F.InParallel && Opts.RuntimeChecks && !Opts.RaceCheck &&
+        Opts.Plans && Opts.Threads > 1 && Step == 1 && NIter >= 2) {
+      if (const xform::LoopPlan *Cond = Opts.Plans->conditionalPlanFor(DS))
+        if (satMul(NIter, bodyWeight(DS)) >= Opts.MinParallelWork &&
+            inspectionPasses(DS, *Cond, Lo, Up))
+          Plan = Cond;
+    }
+
     // Race checking replaces parallel execution: the plan-marked loop runs
     // serially under shadow tags, bypassing the profitability guard so
     // every certified plan is checked regardless of size.
@@ -770,6 +821,12 @@ private:
       Mem.buffer(S) = LastW->Overrides.at(S->id());
     setScalar(DS->indexVar(), Up + 1, F);
 
+    // Workers skipped the per-write version bumps (they would race); bump
+    // everything the loop writes once, after the join and the writebacks,
+    // so inspector-cache entries keyed on these arrays are invalidated.
+    if (Opts.RuntimeChecks)
+      bumpWriteSetVersions(DS);
+
     if (Timed)
       Stats->LoopSeconds[DS->label()] +=
           LoopTimer.seconds() - (VirtualAdjust - AdjustAtEntry);
@@ -822,6 +879,102 @@ private:
     return It->second;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Runtime-check inspection (ExecOptions::RuntimeChecks)
+  //===--------------------------------------------------------------------===//
+
+  /// Bumps the version counter of every symbol the loop body writes
+  /// (transitively through calls), memoizing the write set per loop.
+  void bumpWriteSetVersions(const DoStmt *DS) {
+    if (!UsesForVersions)
+      UsesForVersions.emplace(Prog);
+    auto [It, Inserted] = LoopWriteSets.try_emplace(DS);
+    if (Inserted) {
+      analysis::UseSet U = UsesForVersions->bodyUses(DS->body());
+      It->second.assign(U.Writes.begin(), U.Writes.end());
+      It->second.push_back(DS->indexVar());
+    }
+    for (const Symbol *S : It->second)
+      ++Mem.buffer(S).Version;
+  }
+
+  void recordDecision(const DoStmt *DS, bool Cached, bool DidPass,
+                      const std::string &Detail) {
+    if (!Stats)
+      return;
+    if (Cached)
+      ++Stats->InspectionsCached;
+    else
+      ++Stats->InspectionsRun;
+    if (!DidPass)
+      ++Stats->RuntimeCheckFails;
+    if (Stats->RuntimeDecisions.size() < 64)
+      Stats->RuntimeDecisions.push_back(
+          {DS->label().empty() ? "<unlabeled>" : DS->label(), Cached, DidPass,
+           Detail});
+  }
+
+  /// Decides whether the runtime-conditional \p Plan may dispatch \p DS in
+  /// parallel for iterations [Lo, Up]. Verdicts are cached per loop, keyed
+  /// on the bounds and the version counters of every inspected index
+  /// array; any write to one of them (serial stores bump inline, parallel
+  /// loops bump their write set after the join) forces a re-inspection.
+  bool inspectionPasses(const DoStmt *DS, const xform::LoopPlan &Plan,
+                        int64_t Lo, int64_t Up) {
+    // The bounds-within check reads only the bounded array's *extent*
+    // (fixed for the run), so data writes to it must not invalidate the
+    // cache — only Index/Length contents participate in the key.
+    std::vector<std::pair<unsigned, uint64_t>> Versions;
+    for (const auto &C : Plan.RuntimeChecks)
+      for (const Symbol *S : {C.Index, C.Length})
+        if (S)
+          Versions.emplace_back(S->id(), Mem.buffer(S).Version);
+    std::sort(Versions.begin(), Versions.end());
+    Versions.erase(std::unique(Versions.begin(), Versions.end()),
+                   Versions.end());
+
+    auto [It, Inserted] = InspectionCache.try_emplace(DS);
+    InspectionEntry &E = It->second;
+    if (!Inserted && E.Lo == Lo && E.Up == Up && E.Versions == Versions) {
+      ++interp_inspections_cached;
+      recordDecision(DS, /*Cached=*/true, E.Pass, E.Detail);
+      return E.Pass;
+    }
+
+    trace::TraceScope Span("inspect", "interp");
+    if (Span.active())
+      Span.arg("loop", DS->label().empty() ? "<unlabeled>" : DS->label());
+    // The inspection scans parallelize on the same pool the loop itself
+    // would use; in simulate mode they run on the calling thread.
+    WorkerPool *InsPool = nullptr;
+    if (!Opts.Simulate && Opts.Threads > 1) {
+      if (!Pool)
+        Pool = std::make_unique<WorkerPool>(Opts.Threads);
+      InsPool = Pool.get();
+    }
+    E.Pass = true;
+    E.Detail.clear();
+    for (const auto &C : Plan.RuntimeChecks) {
+      InspectionOutcome O =
+          inspectRuntimeCheck(C, Mem, Lo, Up, InsPool, Opts.Threads);
+      if (!O.Pass) {
+        E.Pass = false;
+        E.Detail = C.str() + ": " + O.Detail;
+        break;
+      }
+    }
+    E.Lo = Lo;
+    E.Up = Up;
+    E.Versions = std::move(Versions);
+    ++interp_inspections_run;
+    if (!E.Pass)
+      ++interp_runtime_check_fails;
+    if (Span.active())
+      Span.arg("verdict", E.Pass ? "pass" : "fail");
+    recordDecision(DS, /*Cached=*/false, E.Pass, E.Detail);
+    return E.Pass;
+  }
+
 public:
   /// Seconds of serialized surplus from simulated parallel loops; the
   /// virtual run time is wall time minus this.
@@ -834,6 +987,20 @@ private:
   ExecStats *Stats;
   std::vector<std::vector<int64_t>> DimExtents;
   std::map<const DoStmt *, int64_t> BodyWeights;
+
+  /// Cached inspection verdict for one runtime-conditional loop, valid
+  /// while the bounds and every inspected array's version are unchanged.
+  struct InspectionEntry {
+    bool Pass = false;
+    int64_t Lo = 0, Up = 0;
+    std::vector<std::pair<unsigned, uint64_t>> Versions;
+    std::string Detail;
+  };
+  std::map<const DoStmt *, InspectionEntry> InspectionCache;
+  /// Memoized per-loop write sets for post-join version bumps.
+  std::map<const DoStmt *, std::vector<const Symbol *>> LoopWriteSets;
+  std::optional<analysis::SymbolUses> UsesForVersions;
+
   /// Active shadow monitors, innermost last (non-empty only under
   /// ExecOptions::RaceCheck, inside plan-marked loops).
   std::vector<ShadowMonitor *> Monitors;

@@ -44,6 +44,11 @@ struct Buffer {
   mf::ScalarKind Kind = mf::ScalarKind::Int;
   std::vector<int64_t> I;
   std::vector<double> D;
+  /// Bumped on every serial-context write and once per parallel loop that
+  /// writes the symbol. Keys the inspector's verdict cache: a runtime-check
+  /// verdict stays valid while the versions of every inspected index array
+  /// are unchanged.
+  uint64_t Version = 0;
 
   size_t size() const {
     return Kind == mf::ScalarKind::Int ? I.size() : D.size();
@@ -113,6 +118,14 @@ struct ExecOptions {
   /// ExecStats::Races. The ground truth the plan auditor is checked
   /// against (see verify/PlanAudit.h).
   bool RaceCheck = false;
+  /// Inspector/executor mode: loops the pipeline emitted as
+  /// runtime-conditional (LoopPlan::RuntimeChecks) are inspected with an
+  /// O(n) scan of their index arrays before the first execution; the loop
+  /// runs parallel when every check passes and serial otherwise. Verdicts
+  /// are cached keyed on the inspected arrays' version counters, so
+  /// repeated invocations skip re-inspection until an index array is
+  /// rewritten. Only meaningful together with Plans and Threads > 1.
+  bool RuntimeChecks = false;
 };
 
 /// Classification of one dynamically observed cross-iteration conflict.
@@ -173,6 +186,21 @@ struct ExecStats {
   /// RacesFound counts every observation.
   std::vector<RaceRecord> Races;
   unsigned RacesFound = 0;
+
+  /// Inspector/executor runtime checks (ExecOptions::RuntimeChecks).
+  unsigned InspectionsRun = 0;    ///< Fresh O(n) inspections executed.
+  unsigned InspectionsCached = 0; ///< Verdicts served from the version cache.
+  unsigned RuntimeCheckFails = 0; ///< Decisions that fell back to serial.
+  /// One record per runtime-check dispatch decision (capped at 64).
+  struct RuntimeDecision {
+    std::string Loop;   ///< Label of the conditional loop.
+    bool Cached = false; ///< Verdict came from the version cache.
+    bool Pass = false;   ///< Parallel dispatch (all checks passed).
+    std::string Detail; ///< The failing check, empty on pass.
+
+    std::string str() const;
+  };
+  std::vector<RuntimeDecision> RuntimeDecisions;
 };
 
 /// Runs \p P (starting at "main") against fresh memory; returns the final

@@ -111,8 +111,8 @@ bool interp::parseSchedule(const std::string &Name, Schedule &Out) {
 ChunkDispenser::ChunkDispenser(int64_t Lo, int64_t Up, unsigned Workers,
                                Schedule Sched, int64_t ChunkSize)
     : Lo(Lo), Up(Up), Workers(std::max(1u, Workers)), Sched(Sched),
-      Cursor(Lo) {
-  int64_t NIter = Up >= Lo ? Up - Lo + 1 : 0;
+      Iterations(Up >= Lo ? Up - Lo + 1 : 0), Cursor(Lo) {
+  int64_t NIter = Iterations;
   switch (Sched) {
   case Schedule::Static:
     // Default: one contiguous block per worker (ceil split), the classic
@@ -136,6 +136,11 @@ ChunkDispenser::ChunkDispenser(int64_t Lo, int64_t Up, unsigned Workers,
 
 bool ChunkDispenser::next(unsigned W, int64_t &First, int64_t &Last,
                           unsigned &ChunkId) {
+  // Zero-trip guard (Up < Lo): nothing to dispense under any policy, and
+  // the per-policy cursors below must stay untouched so arbitrarily many
+  // polls of an empty space stay safe.
+  if (Iterations == 0)
+    return false;
   switch (Sched) {
   case Schedule::Static: {
     // Per-worker cursor: worker W owns blocks W, W+Workers, W+2*Workers...
@@ -149,9 +154,16 @@ bool ChunkDispenser::next(unsigned W, int64_t &First, int64_t &Last,
     break;
   }
   case Schedule::Dynamic: {
-    First = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
-    if (First > Up)
-      return false;
+    // Claim by compare-exchange rather than an unconditional fetch_add:
+    // exhausted polls must not keep advancing the cursor (a worker spinning
+    // on an empty dispenser would eventually overflow it).
+    int64_t Cur = Cursor.load(std::memory_order_relaxed);
+    do {
+      if (Cur > Up)
+        return false;
+    } while (!Cursor.compare_exchange_weak(Cur, Cur + Chunk,
+                                           std::memory_order_relaxed));
+    First = Cur;
     Last = std::min(Up, First + Chunk - 1);
     break;
   }

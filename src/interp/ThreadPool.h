@@ -123,6 +123,10 @@ private:
   unsigned Workers;
   Schedule Sched;
   int64_t Chunk; ///< Block size (static/dynamic) or floor (guided).
+  /// Trip count; 0 for an empty space (Up < Lo). Guards next() so a
+  /// zero-trip loop dispenses nothing under every policy and repeated
+  /// exhausted polls never touch the cursor.
+  int64_t Iterations;
   std::atomic<int64_t> Cursor;      ///< Next undispensed iteration.
   std::atomic<unsigned> Dispensed{0};
   std::vector<int64_t> StaticBlock; ///< Per-worker next block index.

@@ -7,7 +7,10 @@
 
 #include "support/Json.h"
 
+#include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -44,9 +47,24 @@ std::string iaa::json::num(double V) {
   if (V == static_cast<double>(static_cast<long long>(V)) &&
       std::abs(V) < 1e15)
     return std::to_string(static_cast<long long>(V));
+  // Locale-independent rendering: snprintf("%g") honors LC_NUMERIC, and a
+  // comma decimal point (de_DE et al.) would corrupt every BENCH_*.json the
+  // moment the host process touches setlocale(). to_chars is specified to
+  // ignore the locale.
+#if defined(__cpp_lib_to_chars)
   char Buf[40];
-  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
-  return Buf;
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V,
+                                 std::chars_format::general, 9);
+  if (Ec == std::errc())
+    return std::string(Buf, End);
+#endif
+  // Fallback for toolchains without FP to_chars: print, then undo any
+  // locale decimal separator by hand.
+  char Buf2[40];
+  std::snprintf(Buf2, sizeof(Buf2), "%.9g", V);
+  std::string Out = Buf2;
+  std::replace(Out.begin(), Out.end(), ',', '.');
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -194,11 +212,26 @@ private:
       ++Pos;
     if (Pos == Digits)
       return std::nullopt;
-    char *End = nullptr;
-    std::string Num = Text.substr(Start, Pos - Start);
-    double D = std::strtod(Num.c_str(), &End);
-    if (End != Num.c_str() + Num.size())
+    // from_chars, not strtod: strtod reads LC_NUMERIC, so under a
+    // comma-decimal locale it would stop at the '.' of "1.5" and reject (or
+    // misread) every number this library itself wrote.
+    double D = 0;
+#if defined(__cpp_lib_to_chars)
+    auto [End, Ec] = std::from_chars(Text.data() + Start, Text.data() + Pos, D);
+    if (Ec != std::errc() || End != Text.data() + Pos)
       return std::nullopt;
+#else
+    std::string Num = Text.substr(Start, Pos - Start);
+    // Locale-proof fallback: route through the decimal separator strtod
+    // expects right now.
+    std::lconv *Lc = std::localeconv();
+    if (Lc && Lc->decimal_point && Lc->decimal_point[0] != '.')
+      std::replace(Num.begin(), Num.end(), '.', Lc->decimal_point[0]);
+    char *NumEnd = nullptr;
+    D = std::strtod(Num.c_str(), &NumEnd);
+    if (NumEnd != Num.c_str() + Num.size())
+      return std::nullopt;
+#endif
     Value V;
     V.K = Value::Kind::Number;
     V.N = D;

@@ -16,6 +16,7 @@ const char *iaa::remarkKindName(Remark::Kind K) {
   case Remark::Kind::Parallelized: return "parallelized";
   case Remark::Kind::Missed:       return "missed";
   case Remark::Kind::Audit:        return "audit";
+  case Remark::Kind::RuntimeCheck: return "runtime-check";
   }
   return "?";
 }

@@ -30,6 +30,8 @@ struct Remark {
     Parallelized, ///< The loop was marked parallel.
     Missed,       ///< The loop stayed serial; Reason says why.
     Audit,        ///< Plan-auditor verdict for a parallel-marked loop.
+    RuntimeCheck, ///< Statically serial, parallel conditional on runtime
+                  ///< checks; Evidence lists the obligations.
   };
 
   /// Loop label ("<unlabeled>" when the source gave none).

@@ -91,6 +91,10 @@ struct LoopAudit {
   const mf::DoStmt *Loop = nullptr;
   std::string Label;
   AuditVerdict Verdict = AuditVerdict::Unknown;
+  /// True for a runtime-conditional plan: a Certified verdict then means
+  /// "race-free provided the plan's recorded runtime checks pass at run
+  /// time" — the serial fallback taken when they fail is sound either way.
+  bool Conditional = false;
   std::vector<ObligationCheck> Obligations;
   /// Present iff Verdict == Rejected.
   std::optional<AuditCounterexample> Counterexample;
@@ -125,10 +129,11 @@ class PlanAuditor {
 public:
   explicit PlanAuditor(mf::Program &P);
 
-  /// Audits every parallel-marked plan in \p R.
+  /// Audits every parallel-marked and runtime-conditional plan in \p R.
   AuditResult audit(const xform::PipelineResult &R);
 
-  /// Audits one loop against \p Plan (which must be marked parallel).
+  /// Audits one loop against \p Plan (marked parallel, or emitted as
+  /// parallel conditional on runtime checks).
   LoopAudit auditLoop(const mf::DoStmt *L, const xform::LoopPlan &Plan);
 
 private:
@@ -155,7 +160,8 @@ bool parseAuditMode(const std::string &Name, AuditMode &M);
 /// Records \p A into \p R: fills PipelineResult::AuditOutcomes and appends
 /// one audit remark per audited loop. Under AuditMode::Strict every
 /// non-Certified loop's plan is demoted to serial (LoopPlan::Parallel and
-/// LoopReport::Parallel cleared). Returns the number of demoted loops.
+/// LoopReport::Parallel cleared, and any runtime-conditional dispatch
+/// stripped along with its checks). Returns the number of demoted loops.
 unsigned recordAudit(xform::PipelineResult &R, const AuditResult &A,
                      AuditMode Mode);
 

@@ -56,6 +56,8 @@ IAA_STAT(verify_rejected, "Loops rejected with a counterexample");
 IAA_STAT(verify_unknown, "Loops the auditor could not decide");
 IAA_STAT(verify_property_queries, "Property-solver queries issued by audits");
 IAA_STAT(verify_demoted, "Plans demoted to serial under --audit=strict");
+IAA_STAT(verify_conditional_certified,
+         "Loops certified conditional on their recorded runtime checks");
 
 const char *iaa::verify::auditVerdictName(AuditVerdict V) {
   switch (V) {
@@ -102,6 +104,8 @@ std::string AuditCounterexample::str() const {
 
 std::string LoopAudit::str() const {
   std::string Out = Label + ": " + auditVerdictName(Verdict);
+  if (Conditional)
+    Out += " (conditional on runtime checks)";
   if (!Detail.empty())
     Out += " — " + Detail;
   for (const ObligationCheck &O : Obligations)
@@ -221,6 +225,9 @@ public:
     // Adjacent-iteration counterexamples quantify over pairs (i, i+1), so
     // the witness environment clips the index one short of the upper bound.
     TwoIters = provablyLT(LoL, UpL, EnvConsts);
+    Conditional =
+        !Plan.Parallel && Plan.RuntimeConditional && !Plan.RuntimeChecks.empty();
+    Out.Conditional = Conditional;
   }
 
   void run();
@@ -299,6 +306,21 @@ private:
   RangeEnv EnvConsts; ///< Global constants only.
   RangeEnv Env;       ///< Constants + the loop index bound to [lo, up].
   bool TwoIters = false;
+  /// Auditing a runtime-conditional plan: an obligation the static ladder
+  /// cannot re-establish may instead be discharged against a recorded
+  /// runtime check whose window covers the audited accesses.
+  bool Conditional = false;
+
+  /// The recorded runtime check of kind \p K over index array \p Q, if any.
+  const deptest::RuntimeCheck *recordedCheck(deptest::RuntimeCheckKind K,
+                                             const Symbol *Q) const {
+    if (!Conditional)
+      return nullptr;
+    for (const deptest::RuntimeCheck &C : Plan.RuntimeChecks)
+      if (C.Kind == K && C.Index == Q)
+        return &C;
+    return nullptr;
+  }
 
   std::map<const Symbol *, std::vector<AccessInfo>> ByArray;
   std::set<const Symbol *> Opaque;
@@ -710,6 +732,21 @@ bool PlanAuditor::LoopAuditContext::proveGatherSubscript(
          Q->name() + " re-verified strictly increasing");
       return true;
     }
+    // Premise 3 (conditional plans): a recorded injectivity check whose
+    // window covers the audited subscript q(i + c) discharges the access —
+    // conditional on the inspector passing it at run time. The auditor
+    // re-derives the subscript shape itself; only the property is deferred.
+    if (Conditional && Coeff == 1 && Rest.isConstant()) {
+      int64_t Shift = Rest.constValue();
+      if (const deptest::RuntimeCheck *C = recordedCheck(
+              deptest::RuntimeCheckKind::InjectiveOnRange, Q);
+          C && C->LoAdjust <= Shift && C->UpAdjust >= Shift) {
+        ob("injective", X->name(), true,
+           Q->name() + " injectivity deferred to the runtime check " +
+               C->str());
+        return true;
+      }
+    }
     ob("injective", X->name(), false,
        "gather subscript " + Q->name() +
            "(...) shared by all accesses, but neither injectivity nor "
@@ -843,6 +880,63 @@ bool PlanAuditor::LoopAuditContext::proveOffsetLength(
          "re-verified)");
       return true;
     }
+  }
+
+  // Conditional plans: when the CFD/CFB premises cannot be re-established
+  // statically, a recorded monotonicity + segment-disjointness check pair
+  // over the same pointer array discharges the accesses, provided the
+  // auditor's independently derived per-iteration ranges all fit the
+  // segment shape the recorded check inspects.
+  if (!Conditional)
+    return false;
+  for (const Symbol *Ptr : Candidates) {
+    const deptest::RuntimeCheck *Mono = recordedCheck(
+        deptest::RuntimeCheckKind::MonotonicNonDecreasing, Ptr);
+    const deptest::RuntimeCheck *OL = recordedCheck(
+        deptest::RuntimeCheckKind::OffsetLengthDisjoint, Ptr);
+    if (!Mono || !OL || BodyW.writes(Ptr) ||
+        (OL->Length && BodyW.writes(OL->Length)))
+      continue;
+    SymExpr PtrAtI = SymExpr::arrayElem(Ptr, {SymExpr::var(I)});
+    bool Covered = !Ranges.empty();
+    for (const IterRange &Rg : Ranges) {
+      SymExpr LoD = Rg.Lo - PtrAtI;
+      SymExpr HiD = Rg.Hi - PtrAtI;
+      // Start: ptr(i) + c with c no smaller than the inspected segment
+      // start; end: either ptr(i) + c, or exactly ptr(i) + len(i) + c, no
+      // larger than the inspected segment end.
+      if (!LoD.isConstant() || LoD.constValue() < OL->AccessLo) {
+        Covered = false;
+        break;
+      }
+      if (HiD.isConstant()) {
+        if (!OL->HasHiConst || HiD.constValue() > OL->AccessHiConst) {
+          Covered = false;
+          break;
+        }
+        continue;
+      }
+      if (HiD.terms().size() != 1) {
+        Covered = false;
+        break;
+      }
+      const auto &Term = HiD.terms().begin()->second;
+      const AtomRef &At = Term.first;
+      if (Term.second != 1 || At->kind() != AtomKind::ArrayElem ||
+          At->symbol() != OL->Length || At->operands().size() != 1 ||
+          !At->operands()[0].equals(SymExpr::var(I)) || !OL->HasHiLen ||
+          HiD.constantTerm() > OL->AccessHiLen) {
+        Covered = false;
+        break;
+      }
+    }
+    if (!Covered)
+      continue;
+    ob("offset-length", X->name(), true,
+       "segment disjointness of " + Ptr->name() +
+           " deferred to the runtime checks " + Mono->str() + " and " +
+           OL->str());
+    return true;
   }
   return false;
 }
@@ -1023,6 +1117,8 @@ LoopAudit PlanAuditor::auditLoop(const DoStmt *L,
   LoopAuditContext Ctx(*this, L, Plan, Out);
   Ctx.run();
   ++verify_loops_audited;
+  if (Out.Conditional && Out.Verdict == AuditVerdict::Certified)
+    ++verify_conditional_certified;
   switch (Out.Verdict) {
   case AuditVerdict::Certified: ++verify_certified; break;
   case AuditVerdict::Rejected:  ++verify_rejected; break;
@@ -1038,9 +1134,13 @@ AuditResult PlanAuditor::audit(const xform::PipelineResult &R) {
   AuditResult Result;
   for (const xform::LoopReport &Rep : R.Loops) {
     auto It = R.Plans.find(Rep.Loop);
-    if (It == R.Plans.end() || !It->second.Parallel)
+    if (It == R.Plans.end())
       continue;
-    Result.Loops.push_back(auditLoop(Rep.Loop, It->second));
+    const xform::LoopPlan &Plan = It->second;
+    if (!Plan.Parallel &&
+        !(Plan.RuntimeConditional && !Plan.RuntimeChecks.empty()))
+      continue;
+    Result.Loops.push_back(auditLoop(Rep.Loop, Plan));
   }
   return Result;
 }
@@ -1062,11 +1162,18 @@ unsigned iaa::verify::recordAudit(xform::PipelineResult &R,
       ++Demoted;
       ++verify_demoted;
       auto It = R.Plans.find(LA.Loop);
-      if (It != R.Plans.end())
+      if (It != R.Plans.end()) {
         It->second.Parallel = false;
+        // Strict demotion means serial, full stop: an uncertifiable
+        // runtime-conditional plan must not re-enter through the
+        // inspector either.
+        It->second.RuntimeConditional = false;
+        It->second.RuntimeChecks.clear();
+      }
       for (xform::LoopReport &Rep : R.Loops)
         if (Rep.Loop == LA.Loop) {
           Rep.Parallel = false;
+          Rep.RuntimeConditional = false;
           Rep.WhyNot = "audit " + std::string(auditVerdictName(LA.Verdict)) +
                        (LA.Detail.empty() ? "" : ": " + LA.Detail);
         }
@@ -1077,6 +1184,11 @@ unsigned iaa::verify::recordAudit(xform::PipelineResult &R,
     M.Reason = std::string(auditVerdictName(LA.Verdict)) +
                (LA.Detail.empty() ? "" : " — " + LA.Detail);
     M.Evidence.emplace_back("verdict", auditVerdictName(LA.Verdict));
+    if (LA.Conditional)
+      M.Evidence.emplace_back(
+          "conditional",
+          "certification holds when the recorded runtime checks pass; the "
+          "serial fallback taken on failure is sound unconditionally");
     if (O.Demoted)
       M.Evidence.emplace_back("action", "demoted to serial");
     for (const ObligationCheck &Ob : LA.Obligations)

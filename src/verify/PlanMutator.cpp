@@ -19,6 +19,7 @@ const char *iaa::verify::mutationKindName(MutationKind K) {
   case MutationKind::DropReduction:     return "drop-reduction";
   case MutationKind::SkipLastValue:     return "skip-last-value";
   case MutationKind::ForceParallel:     return "force-parallel";
+  case MutationKind::DropRuntimeCheck:  return "drop-runtime-check";
   }
   return "?";
 }
@@ -34,7 +35,8 @@ bool iaa::verify::applyMutation(xform::PipelineResult &R, const Program &P,
   xform::LoopPlan &Plan = PlanIt->second;
 
   const Symbol *Sym = nullptr;
-  if (M.Kind != MutationKind::ForceParallel) {
+  if (M.Kind != MutationKind::ForceParallel &&
+      M.Kind != MutationKind::DropRuntimeCheck) {
     for (const Symbol *S : P.symbols())
       if (S->name() == M.Symbol) {
         Sym = S;
@@ -49,6 +51,7 @@ bool iaa::verify::applyMutation(xform::PipelineResult &R, const Program &P,
     for (xform::LoopReport &Rep : R.Loops)
       if (Rep.Loop == L) {
         Rep.Parallel = true;
+        Rep.RuntimeConditional = false;
         Rep.WhyNot.clear();
       }
   };
@@ -69,6 +72,14 @@ bool iaa::verify::applyMutation(xform::PipelineResult &R, const Program &P,
     MarkParallel();
     break;
   case MutationKind::ForceParallel:
+    MarkParallel();
+    break;
+  case MutationKind::DropRuntimeCheck:
+    if (!Plan.RuntimeConditional || Plan.RuntimeChecks.empty() ||
+        Plan.Parallel)
+      return false;
+    Plan.RuntimeChecks.clear();
+    Plan.RuntimeConditional = false;
     MarkParallel();
     break;
   }

@@ -40,6 +40,11 @@ enum class MutationKind {
   /// Force-mark a serial loop parallel, as if a dependence or injectivity
   /// proof succeeded when it did not (Symbol is ignored).
   ForceParallel,
+  /// Strip a runtime-conditional plan's checks and mark the loop
+  /// unconditionally parallel, as if the inspector had been skipped: the
+  /// dependence the checks were guarding is now undischarged (Symbol is
+  /// ignored).
+  DropRuntimeCheck,
 };
 
 const char *mutationKindName(MutationKind K);

@@ -23,6 +23,8 @@ using namespace iaa::mf;
 IAA_STAT(pipeline_runs, "Pipeline invocations");
 IAA_STAT(pipeline_loops_analyzed, "Loops analyzed by the pipeline");
 IAA_STAT(pipeline_loops_parallel, "Loops marked parallel");
+IAA_STAT(pipeline_loops_runtime_checked,
+         "Loops emitted as parallel conditional on runtime checks");
 IAA_STAT(pipeline_constants_propagated, "Constants propagated");
 IAA_STAT(pipeline_forward_substitutions, "Forward substitutions performed");
 IAA_STAT(pipeline_dead_removed, "Dead statements removed");
@@ -44,6 +46,8 @@ std::string PipelineResult::str() const {
     Out += R.Parallel ? ": PARALLEL" : ": serial";
     if (!R.Parallel && !R.WhyNot.empty())
       Out += " (" + R.WhyNot + ")";
+    if (R.RuntimeConditional)
+      Out += " [parallel conditional on runtime checks]";
     for (const auto &D : R.DepOutcomes) {
       Out += "\n    dep " + D.Array->name() + ": " +
              (D.Independent ? "independent" : "dependent") + " [" +
@@ -64,11 +68,19 @@ std::string PipelineResult::str() const {
 namespace {
 
 /// Builds the structured remark backing \p Rep's WhyNot string.
-Remark remarkFor(const LoopReport &Rep) {
+Remark remarkFor(const LoopReport &Rep, const LoopPlan &Plan) {
   Remark R;
   R.Loop = Rep.Label.empty() ? std::string("<unlabeled>") : Rep.Label;
   R.K = Rep.Parallel ? Remark::Kind::Parallelized : Remark::Kind::Missed;
-  if (Rep.Parallel) {
+  if (Rep.RuntimeConditional) {
+    R.K = Remark::Kind::RuntimeCheck;
+    R.Reason = "parallel conditional on " +
+               std::to_string(Plan.RuntimeChecks.size()) +
+               " runtime check(s); serial fallback when inspection fails";
+    R.Evidence.emplace_back("static-reason", Rep.WhyNot);
+    for (const auto &C : Plan.RuntimeChecks)
+      R.Evidence.emplace_back("check", C.str());
+  } else if (Rep.Parallel) {
     unsigned Privatized = 0;
     for (const auto &Pv : Rep.PrivOutcomes)
       if (Pv.Privatizable)
@@ -280,9 +292,49 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
     Plan.Parallel = Rep.Parallel;
     if (Rep.Parallel)
       ++pipeline_loops_parallel;
-    LoopSpan.arg("parallel", Rep.Parallel ? "yes" : "no");
 
-    Result.Remarks.push_back(remarkFor(Rep));
+    // 5. Runtime-check fallback (inspector/executor): when scalars are fine
+    //    and every remaining array dependence came back Unknown with a
+    //    recorded inspectable shape, emit the plan as runtime-conditional.
+    //    The interpreter inspects the index arrays before the loop's first
+    //    execution and dispatches parallel only when every check passes;
+    //    Parallel stays false so nothing changes unless the consumer opts
+    //    into runtime checks.
+    if (!Rep.Parallel && ScalarsOk) {
+      bool AnyDependent = false, AllCheckable = true;
+      std::vector<deptest::RuntimeCheck> Checks;
+      for (const auto &O : Final.Arrays) {
+        if (O.Independent)
+          continue;
+        AnyDependent = true;
+        if (O.RuntimeCandidates.empty()) {
+          AllCheckable = false;
+          break;
+        }
+        for (const auto &C : O.RuntimeCandidates) {
+          bool Dup = false;
+          for (const auto &Have : Checks)
+            Dup |= Have.str() == C.str();
+          if (!Dup)
+            Checks.push_back(C);
+        }
+      }
+      // Arrays that failed privatization for a reason other than the
+      // dependence itself (live-out without a last value, not analyzable)
+      // are dependent in Final and have no candidates, so AllCheckable
+      // already excludes them.
+      if (AnyDependent && AllCheckable) {
+        Plan.RuntimeChecks = std::move(Checks);
+        Plan.RuntimeConditional = true;
+        Rep.RuntimeConditional = true;
+        ++pipeline_loops_runtime_checked;
+      }
+    }
+    LoopSpan.arg("parallel", Rep.Parallel          ? "yes"
+                 : Rep.RuntimeConditional          ? "conditional"
+                                                   : "no");
+
+    Result.Remarks.push_back(remarkFor(Rep, Plan));
     Result.Plans.emplace(L, std::move(Plan));
     Result.Loops.push_back(std::move(Rep));
   }

@@ -60,6 +60,13 @@ struct LoopPlan {
   std::set<const mf::Symbol *> PrivateScalars;
   /// Scalar sum reductions merged after the loop.
   std::set<const mf::Symbol *> Reductions;
+  /// Runtime-check obligations (inspector/executor): when RuntimeConditional
+  /// is set, Parallel stays false and the loop may run in parallel only
+  /// after an O(n) inspection of the named index arrays discharges every
+  /// check for the actual data; serial execution is always a sound
+  /// fallback.
+  std::vector<deptest::RuntimeCheck> RuntimeChecks;
+  bool RuntimeConditional = false;
 };
 
 /// Analysis record for one loop (feeds Table 3).
@@ -67,6 +74,8 @@ struct LoopReport {
   const mf::DoStmt *Loop = nullptr;
   std::string Label;
   bool Parallel = false;
+  /// Statically serial, but parallel conditional on runtime checks.
+  bool RuntimeConditional = false;
   std::string WhyNot;
   std::vector<deptest::ArrayDepOutcome> DepOutcomes;
   std::vector<ArrayPrivOutcome> PrivOutcomes;
@@ -107,6 +116,17 @@ struct PipelineResult {
   const LoopPlan *planFor(const mf::DoStmt *L) const {
     auto It = Plans.find(L);
     return It == Plans.end() || !It->second.Parallel ? nullptr : &It->second;
+  }
+
+  /// The runtime-conditional plan for \p L: statically serial, but
+  /// parallelizable if the attached runtime checks pass inspection. Null
+  /// when the loop is unconditionally parallel or unconditionally serial.
+  const LoopPlan *conditionalPlanFor(const mf::DoStmt *L) const {
+    auto It = Plans.find(L);
+    if (It == Plans.end() || It->second.Parallel ||
+        !It->second.RuntimeConditional || It->second.RuntimeChecks.empty())
+      return nullptr;
+    return &It->second;
   }
 
   /// The report for the loop labeled \p Label, or null.

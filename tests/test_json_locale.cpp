@@ -1,0 +1,118 @@
+//===- tests/test_json_locale.cpp - Locale-proof JSON numbers -------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// JSON requires '.' as the decimal separator regardless of the process
+/// locale. These tests flip LC_NUMERIC to a comma-decimal locale (de_DE)
+/// and assert the emitters still write valid JSON and the parser still
+/// reads it — i.e. a BENCH_*.json produced by a host that touched
+/// setlocale() round-trips bit-exactly. Skipped when no comma-decimal
+/// locale is installed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <string>
+#include <vector>
+
+using namespace iaa;
+
+namespace {
+
+/// Switches LC_NUMERIC to a comma-decimal locale for the test's lifetime
+/// and restores the previous locale on destruction.
+struct CommaLocale {
+  std::string Saved;
+  bool Active = false;
+
+  CommaLocale() {
+    if (const char *Prev = std::setlocale(LC_NUMERIC, nullptr))
+      Saved = Prev;
+    for (const char *Name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+      if (std::setlocale(LC_NUMERIC, Name)) {
+        // Only count it if the locale really uses a comma.
+        std::lconv *Lc = std::localeconv();
+        if (Lc && Lc->decimal_point && Lc->decimal_point[0] == ',') {
+          Active = true;
+          return;
+        }
+      }
+    }
+    restore();
+  }
+
+  ~CommaLocale() { restore(); }
+
+  void restore() {
+    if (!Saved.empty())
+      std::setlocale(LC_NUMERIC, Saved.c_str());
+  }
+};
+
+TEST(JsonLocale, NumbersUseDotUnderCommaLocale) {
+  CommaLocale L;
+  if (!L.Active)
+    GTEST_SKIP() << "no comma-decimal locale installed";
+
+  // Values typical of BENCH_*.json payloads: seconds, speedups, fractions.
+  for (double V : {0.5, 1.5, 3.14159265, 0.000123456, 7.25e-6, 1234.0625,
+                   -2.75, 9.999999e8}) {
+    std::string Text = json::num(V);
+    EXPECT_EQ(Text.find(','), std::string::npos)
+        << "comma leaked into JSON number: " << Text;
+    std::optional<json::Value> Parsed = json::parse(Text);
+    ASSERT_TRUE(Parsed.has_value()) << Text;
+    ASSERT_TRUE(Parsed->isNumber());
+    EXPECT_DOUBLE_EQ(Parsed->N, V) << Text;
+  }
+}
+
+TEST(JsonLocale, BenchPayloadRoundTripsUnderCommaLocale) {
+  CommaLocale L;
+  if (!L.Active)
+    GTEST_SKIP() << "no comma-decimal locale installed";
+
+  // A BENCH_-shaped document written and re-read entirely under the
+  // comma locale.
+  std::string Doc = "{\"bench\": \"runtime_check\", \"results\": [";
+  std::vector<double> Vals = {0.125, 3.5e-4, 2.0, 17.625, 0.333333333};
+  for (size_t I = 0; I < Vals.size(); ++I) {
+    if (I)
+      Doc += ", ";
+    Doc += "{\"seconds\": " + json::num(Vals[I]) + "}";
+  }
+  Doc += "]}";
+
+  std::optional<json::Value> V = json::parse(Doc);
+  ASSERT_TRUE(V.has_value()) << Doc;
+  const json::Value *Results = V->member("results");
+  ASSERT_NE(Results, nullptr);
+  ASSERT_TRUE(Results->isArray());
+  ASSERT_EQ(Results->Elems.size(), Vals.size());
+  for (size_t I = 0; I < Vals.size(); ++I) {
+    const json::Value *S = Results->Elems[I].member("seconds");
+    ASSERT_NE(S, nullptr);
+    EXPECT_DOUBLE_EQ(S->N, Vals[I]);
+  }
+}
+
+TEST(JsonLocale, ParserRejectsCommaDecimals) {
+  // Even under a comma locale the parser must not accept "1,5" as a
+  // number — JSON does not, and the old strtod-based parser effectively
+  // did on some platforms.
+  CommaLocale L; // Active or not, the outcome must be identical.
+  EXPECT_FALSE(json::parse("1,5").has_value());
+  std::optional<json::Value> V = json::parse("[1, 5]");
+  ASSERT_TRUE(V.has_value());
+  ASSERT_TRUE(V->isArray());
+  ASSERT_EQ(V->Elems.size(), 2u);
+}
+
+} // namespace

@@ -134,6 +134,27 @@ TEST(ChunkDispenser, AllSchedulesPartitionExactly) {
       }
 }
 
+TEST(ChunkDispenser, ZeroTripSpaceDispensesNothing) {
+  // Up < Lo (a zero- or negative-trip do loop): every policy must dispense
+  // nothing, count zero chunks, and stay well-defined under arbitrarily
+  // many repeated polls from every worker — the dynamic policy used to
+  // advance its shared cursor on each exhausted poll.
+  const std::pair<int64_t, int64_t> EmptyBounds[] = {{1, 0}, {5, 1}, {0, -3}};
+  for (Schedule S : {Schedule::Static, Schedule::Dynamic, Schedule::Guided})
+    for (int64_t ChunkSize : {int64_t(0), int64_t(1), int64_t(5)})
+      for (auto [Lo, Up] : EmptyBounds) {
+        ChunkDispenser D(Lo, Up, 3, S, ChunkSize);
+        int64_t First, Last;
+        unsigned Id;
+        for (int Poll = 0; Poll < 100; ++Poll)
+          for (unsigned W = 0; W < 3; ++W)
+            EXPECT_FALSE(D.next(W, First, Last, Id))
+                << scheduleName(S) << " [" << Lo << ", " << Up
+                << "] chunk=" << ChunkSize;
+        EXPECT_EQ(D.chunksDispensed(), 0u);
+      }
+}
+
 TEST(ChunkDispenser, StaticCeilSplitLeavesTrailingWorkersEmpty) {
   // NIter=6, T=4: ceil(6/4)=2 → workers 0..2 get two iterations, worker 3
   // gets nothing. This is the decomposition behind the last-value bug.

@@ -10,7 +10,8 @@
 //   mfpar FILE.mf [--mode=full|noiaa|apo] [--run[=THREADS]] [--dump]
 //         [--schedule=static|dynamic|guided] [--chunk=N]
 //         [--audit=off|warn|strict] [--race-check] [--runtime-check[=on|off]]
-//         [--stats] [--trace=out.json] [--remarks=out.jsonl]
+//         [--on-fault=abort|report|replay] [--stats] [--trace=out.json]
+//         [--remarks=out.jsonl]
 //
 //   --mode     pipeline configuration (default full)
 //   --run      execute the program (optionally in parallel with N threads)
@@ -29,11 +30,20 @@
 //              their index arrays inspected before first execution and run
 //              parallel when every check passes (default off; plain
 //              --runtime-check means on)
+//   --on-fault what a parallel-worker fault does to the loop (default
+//              replay): replay rolls the loop's shared write set back to
+//              the pre-dispatch snapshot and re-executes it serially;
+//              report rolls back and stops with the fault; abort skips the
+//              snapshot and aborts the process (legacy behavior)
 //   --stats    print the statistic counters and per-phase timings
 //   --trace    write a Chrome trace-event JSON file (chrome://tracing)
 //   --remarks  write optimization remarks as JSONL, one record per loop
 //
 // With no file argument it analyzes the paper's Fig. 1(a) example.
+//
+// Exit codes: 0 success; 1 cannot open or parse the input; 2 bad flag or
+// flag value; 3 the race checker found conflicts; 4 the program faulted at
+// runtime (out-of-bounds subscript, division by zero, bad extent, ...).
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +72,8 @@ static int usage() {
                "usage: mfpar [FILE.mf] [--mode=full|noiaa|apo] "
                "[--run[=THREADS]] [--schedule=static|dynamic|guided] "
                "[--chunk=N] [--audit=off|warn|strict] [--race-check] "
-               "[--runtime-check[=on|off]] [--dump] [--annotate] [--stats] "
+               "[--runtime-check[=on|off]] [--on-fault=abort|report|replay] "
+               "[--dump] [--annotate] [--stats] "
                "[--trace=FILE] [--remarks=FILE]\n");
   return 2;
 }
@@ -102,6 +113,7 @@ int main(int argc, char **argv) {
   verify::AuditMode Audit = verify::AuditMode::Off;
   bool RaceCheck = false;
   bool RuntimeChecks = false;
+  interp::FaultAction OnFault = interp::FaultAction::Replay;
   bool Dump = false;
   bool Annotate = false;
   bool Stats = false;
@@ -151,6 +163,10 @@ int main(int argc, char **argv) {
         RuntimeChecks = false;
       else
         return badValue("--runtime-check", V, "on or off");
+    } else if (Arg.rfind("--on-fault=", 0) == 0) {
+      if (!interp::parseFaultAction(Arg.substr(11), OnFault))
+        return badValue("--on-fault", Arg.substr(11),
+                        "abort, report, or replay");
     } else if (Arg == "--dump") {
       Dump = true;
     } else if (Arg == "--annotate") {
@@ -219,13 +235,28 @@ int main(int argc, char **argv) {
                   Demoted == 1 ? "" : "s");
   }
 
+  // Reports a run that ended on an unrecovered runtime fault. Exit code 4;
+  // under --on-fault=abort the process aborts instead (legacy behavior —
+  // the interpreter itself always unwinds cleanly, the abort is ours).
+  auto ReportFault = [&OnFault](const char *What,
+                                const interp::FaultState &FS) {
+    std::fprintf(stderr, "mfpar: %s faulted: %s\n", What,
+                 FS.Fault.str().c_str());
+    if (OnFault == interp::FaultAction::Abort)
+      std::abort();
+    return 4;
+  };
+
   if (RaceCheck) {
     interp::Interpreter I(*P);
     interp::ExecOptions Opts;
     Opts.Plans = &R;
     Opts.RaceCheck = true;
+    Opts.OnFault = OnFault;
     interp::ExecStats CheckStats;
     I.run(Opts, &CheckStats);
+    if (I.faultState().Faulted)
+      return ReportFault("race-check run", I.faultState());
     std::printf("\n--- shadow-memory race check ---\n");
     if (CheckStats.RacesFound == 0) {
       std::printf("no cross-iteration conflicts observed\n");
@@ -251,8 +282,12 @@ int main(int argc, char **argv) {
 
   if (Run) {
     interp::Interpreter I(*P);
+    interp::ExecOptions Seq;
+    Seq.OnFault = OnFault;
     interp::ExecStats SeqStats;
-    interp::Memory Serial = I.run({}, &SeqStats);
+    interp::Memory Serial = I.run(Seq, &SeqStats);
+    if (I.faultState().Faulted)
+      return ReportFault("serial run", I.faultState());
     std::printf("\nserial run: %.3fs, checksum %.6f\n",
                 SeqStats.TotalSeconds, Serial.checksum());
     interp::ExecOptions Par;
@@ -261,9 +296,20 @@ int main(int argc, char **argv) {
     Par.Sched = Sched;
     Par.ChunkSize = ChunkSize;
     Par.RuntimeChecks = RuntimeChecks;
+    Par.OnFault = OnFault;
     Par.Simulate = true; // Works on any host core count.
     interp::ExecStats ParStats;
     interp::Memory Parallel = I.run(Par, &ParStats);
+    const interp::FaultState &ParFS = I.faultState();
+    if (!ParStats.FaultRemarks.empty()) {
+      std::printf("\n--- fault containment ---\n%s",
+                  remarksText(ParStats.FaultRemarks).c_str());
+      std::printf("%s\n", ParFS.str().c_str());
+      R.Remarks.insert(R.Remarks.end(), ParStats.FaultRemarks.begin(),
+                       ParStats.FaultRemarks.end());
+    }
+    if (ParFS.Faulted)
+      return ReportFault("parallel run", ParFS);
     std::set<unsigned> Dead = interp::deadPrivateIds(R);
     std::printf("parallel run (%u simulated processors, %s schedule): %.3fs "
                 "(speedup %.2f), checksum %.6f (%s)\n",

@@ -9,6 +9,7 @@
 
 #include "analysis/GlobalConstants.h"
 #include "analysis/SymbolUses.h"
+#include "interp/Fault.h"
 #include "interp/Inspector.h"
 #include "interp/ThreadPool.h"
 #include "support/Saturating.h"
@@ -18,11 +19,11 @@
 
 #include <algorithm>
 #include <array>
-#include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
 
 using namespace iaa;
 using namespace iaa::interp;
@@ -37,12 +38,32 @@ IAA_STAT(interp_inspections_cached,
          "Runtime-check verdicts served from the version cache");
 IAA_STAT(interp_runtime_check_fails,
          "Runtime-check decisions that fell back to serial");
+IAA_STAT(interp_faults_trapped, "Runtime faults trapped (all contexts)");
+IAA_STAT(interp_fault_rollbacks,
+         "Parallel-loop transactions rolled back after a worker fault");
+IAA_STAT(interp_fault_replays, "Serial replays executed after a rollback");
+IAA_STAT(interp_fault_replays_recovered,
+         "Serial replays that completed cleanly (fault not reproduced)");
 
 namespace {
 
-[[noreturn]] void runtimeFault(const char *Message) {
-  std::fprintf(stderr, "iaa interpreter fault: %s\n", Message);
-  std::abort();
+/// Raises a structured fault from a context with no frame (memory
+/// allocation, extent pre-computation). Loop/worker attribution is added by
+/// the framed overload inside Exec.
+[[noreturn]] void faultAt(FaultKind Kind, SourceLoc Loc, std::string Detail,
+                          const Symbol *Sym = nullptr, bool HasValue = false,
+                          int64_t Value = 0, int64_t Bound = 0) {
+  RuntimeFault F;
+  F.Kind = Kind;
+  F.Loc = Loc;
+  F.Range = SourceRange(Loc);
+  if (Sym)
+    F.Var = Sym->name();
+  F.HasValue = HasValue;
+  F.Value = Value;
+  F.Bound = Bound;
+  F.Detail = std::move(Detail);
+  throw FaultException(std::move(F));
 }
 
 /// A dynamically typed value.
@@ -70,15 +91,19 @@ Memory::Memory(const Program &P) {
   Buffers.resize(P.numSymbols());
 
   // Resolve a (possibly symbolic) extent using whole-program constants.
+  // Saturating arithmetic keeps a hostile extent expression from tripping
+  // signed-overflow UB before the positivity and size checks below run.
   std::function<int64_t(const Expr *)> EvalExtent = [&](const Expr *E)
       -> int64_t {
     switch (E->kind()) {
     case ExprKind::IntLit:
       return cast<IntLit>(E)->value();
     case ExprKind::VarRef: {
-      auto V = Consts.valueOf(cast<VarRef>(E)->symbol());
+      const Symbol *S = cast<VarRef>(E)->symbol();
+      auto V = Consts.valueOf(S);
       if (!V)
-        runtimeFault("array extent is not a program constant");
+        faultAt(FaultKind::BadExtent, E->loc(),
+                "array extent is not a program constant", S);
       return *V;
     }
     case ExprKind::Binary: {
@@ -86,20 +111,29 @@ Memory::Memory(const Program &P) {
       int64_t L = EvalExtent(BE->lhs());
       int64_t R = EvalExtent(BE->rhs());
       switch (BE->op()) {
-      case BinaryOp::Add: return L + R;
-      case BinaryOp::Sub: return L - R;
-      case BinaryOp::Mul: return L * R;
+      case BinaryOp::Add: return satAdd(L, R);
+      case BinaryOp::Sub: return satAdd(L, satMul(-1, R));
+      case BinaryOp::Mul: return satMul(L, R);
       case BinaryOp::Div:
         if (!R)
-          runtimeFault("division by zero in array extent");
+          faultAt(FaultKind::DivByZero, BE->loc(),
+                  "division by zero in array extent");
         return L / R;
-      default: runtimeFault("unsupported operator in array extent");
+      default:
+        faultAt(FaultKind::Unsupported, BE->loc(),
+                "unsupported operator in array extent");
       }
     }
     default:
-      runtimeFault("unsupported array extent expression");
+      faultAt(FaultKind::Unsupported, E->loc(),
+              "unsupported array extent expression");
     }
   };
+
+  // Largest element count one buffer may hold. Far above any real program
+  // in this repo, low enough that a wild extent faults instead of driving
+  // the allocator into the ground.
+  constexpr size_t MaxElems = size_t(1) << 31;
 
   for (const Symbol *S : P.symbols()) {
     Buffer &B = Buffers[S->id()];
@@ -108,8 +142,19 @@ Memory::Memory(const Program &P) {
     for (unsigned D = 0; D < S->rank(); ++D) {
       int64_t Extent = EvalExtent(S->extent(D));
       if (Extent <= 0)
-        runtimeFault("array extent must be positive");
-      Elems *= static_cast<size_t>(Extent);
+        faultAt(FaultKind::BadExtent, S->extent(D)->loc(),
+                "array extent must be positive", S, /*HasValue=*/true,
+                Extent);
+      // Checked multiply: a product past SIZE_MAX must fault, not wrap to
+      // an under-allocated buffer that later subscripts silently corrupt.
+      size_t Next = 0;
+      if (__builtin_mul_overflow(Elems, static_cast<size_t>(Extent), &Next) ||
+          Next > MaxElems)
+        faultAt(FaultKind::BadExtent, S->extent(D)->loc(),
+                "array element count overflows the allocation limit", S,
+                /*HasValue=*/true, Extent,
+                static_cast<int64_t>(MaxElems));
+      Elems = Next;
     }
     if (B.Kind == ScalarKind::Int)
       B.I.assign(Elems, 0);
@@ -195,8 +240,8 @@ namespace {
 class Exec {
 public:
   Exec(const Program &P, Memory &Mem, const ExecOptions &Opts,
-       ExecStats *Stats)
-      : Prog(P), Mem(Mem), Opts(Opts), Stats(Stats) {
+       ExecStats *Stats, FaultState &FS)
+      : Prog(P), Mem(Mem), Opts(Opts), Stats(Stats), FS(FS) {
     // Pre-compute per-array dimension extents for subscript linearization.
     analysis::GlobalConstants Consts(P);
     DimExtents.resize(P.numSymbols());
@@ -229,7 +274,8 @@ public:
             if (R.Lo && R.Hi && *R.Lo == *R.Hi)
               V = *R.Lo;
             else
-              runtimeFault("array extent is not a program constant");
+              faultAt(FaultKind::BadExtent, E->loc(),
+                      "array extent is not a program constant", S);
           }
         }
         Out.push_back(V);
@@ -240,17 +286,108 @@ public:
   struct Frame {
     std::unordered_map<unsigned, Buffer> *Overrides = nullptr;
     bool InParallel = false;
+    /// Fault-attribution context: the innermost do loop being executed,
+    /// its current iteration, the worker running this frame, and whether
+    /// this is a serial replay of a rolled-back parallel loop.
+    const DoStmt *CurLoop = nullptr;
+    int64_t CurIter = 0;
+    unsigned Worker = 0;
+    bool InReplay = false;
   };
 
   void runMain() {
     const Procedure *Main = Prog.mainProcedure();
     if (!Main)
-      runtimeFault("program has no main body");
+      faultAt(FaultKind::NoMain, SourceLoc{}, "program has no main body");
     Frame F;
     execBody(Main->body(), F);
   }
 
 private:
+  /// Raises a structured fault with full attribution from \p F: enclosing
+  /// loop label, iteration, worker, parallel/replay context.
+  [[noreturn]] void fault(FaultKind Kind, SourceLoc Loc, const Frame &F,
+                          std::string Detail, const Symbol *Sym = nullptr,
+                          bool HasValue = false, int64_t Value = 0,
+                          int64_t Bound = 0) {
+    RuntimeFault RF;
+    RF.Kind = Kind;
+    RF.Loc = Loc;
+    RF.Range = SourceRange(Loc);
+    if (F.CurLoop) {
+      RF.Loop = F.CurLoop->label().empty() ? "<unlabeled>"
+                                           : F.CurLoop->label();
+      RF.HasIteration = true;
+      RF.Iteration = F.CurIter;
+    }
+    RF.Worker = F.Worker;
+    RF.InParallel = F.InParallel;
+    RF.DuringReplay = F.InReplay;
+    if (Sym)
+      RF.Var = Sym->name();
+    RF.HasValue = HasValue;
+    RF.Value = Value;
+    RF.Bound = Bound;
+    RF.Detail = std::move(Detail);
+    throw FaultException(std::move(RF));
+  }
+
+  /// Saves and restores a frame's loop-attribution context so each loop
+  /// exit (normal or unwinding) re-exposes the enclosing loop's identity.
+  struct LoopCtxGuard {
+    Frame &F;
+    const DoStmt *PrevLoop;
+    int64_t PrevIter;
+    explicit LoopCtxGuard(Frame &F)
+        : F(F), PrevLoop(F.CurLoop), PrevIter(F.CurIter) {}
+    ~LoopCtxGuard() {
+      F.CurLoop = PrevLoop;
+      F.CurIter = PrevIter;
+    }
+  };
+
+  /// Test-only: raises the configured injected fault when the hook matches
+  /// this (loop, iteration, worker, context). A no-op without an injector,
+  /// so production runs pay one null check per iteration.
+  void checkInjection(const DoStmt *DS, int64_t I, const Frame &F) {
+    if (!Opts.Injector)
+      return;
+    if (auto Inj = Opts.Injector->atIteration(DS, I, F.Worker, F.InParallel))
+      fault(Inj->Kind, DS->loc(), F, Inj->Detail);
+  }
+
+  /// First-fault-wins publication slot shared by the workers of one
+  /// parallel loop: every trapped fault is counted, the earliest one
+  /// recorded wins attribution.
+  struct FaultSlot {
+    std::mutex M;
+    std::optional<RuntimeFault> First;
+    std::atomic<unsigned> Count{0};
+
+    void record(RuntimeFault F) {
+      Count.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(M);
+      if (!First)
+        First = std::move(F);
+    }
+  };
+
+  /// Appends one FaultReplay remark (capped at 64) recording a rolled-back
+  /// parallel loop: the trapped fault and how the rollback resolved.
+  void addFaultRemark(const DoStmt *DS, const RuntimeFault &Trapped,
+                      const char *Outcome, const RuntimeFault *ReplayFault) {
+    if (!Stats || Stats->FaultRemarks.size() >= 64)
+      return;
+    Remark R;
+    R.Loop = DS->label().empty() ? "<unlabeled>" : DS->label();
+    R.K = Remark::Kind::FaultReplay;
+    R.Reason = Outcome;
+    R.Evidence.emplace_back("fault", Trapped.str());
+    if (ReplayFault)
+      R.Evidence.emplace_back("replay-fault", ReplayFault->str());
+    Stats->FaultRemarks.push_back(std::move(R));
+  }
+
   Buffer &bufferFor(const Symbol *S, Frame &F) {
     if (F.Overrides) {
       auto It = F.Overrides->find(S->id());
@@ -267,7 +404,11 @@ private:
     for (unsigned D = 0; D < AR->rank(); ++D) {
       int64_t Sub = eval(AR->subscript(D), F).asInt();
       if (Sub < 1 || Sub > Ext[D])
-        runtimeFault("array subscript out of bounds");
+        fault(FaultKind::OutOfBounds, AR->loc(), F,
+              AR->rank() > 1 ? "array subscript out of bounds (dimension " +
+                                   std::to_string(D + 1) + ")"
+                             : "array subscript out of bounds",
+              S, /*HasValue=*/true, Sub, Ext[D]);
       Idx = Idx * static_cast<size_t>(Ext[D]) + static_cast<size_t>(Sub - 1);
     }
     return Idx;
@@ -332,17 +473,18 @@ private:
       case BinaryOp::Div:
         if (BothInt) {
           if (R.I == 0)
-            runtimeFault("integer division by zero");
+            fault(FaultKind::DivByZero, BE->loc(), F,
+                  "integer division by zero");
           return Value::ofInt(L.I / R.I);
         }
         return Value::ofReal(L.asReal() / R.asReal());
       case BinaryOp::Mod:
         if (BothInt) {
           if (R.I == 0)
-            runtimeFault("mod by zero");
+            fault(FaultKind::DivByZero, BE->loc(), F, "mod by zero");
           return Value::ofInt(L.I % R.I);
         }
-        runtimeFault("mod on real operands");
+        fault(FaultKind::Unsupported, BE->loc(), F, "mod on real operands");
       case BinaryOp::Min:
         return BothInt ? Value::ofInt(std::min(L.I, R.I))
                        : Value::ofReal(std::min(L.asReal(), R.asReal()));
@@ -365,10 +507,11 @@ private:
       case BinaryOp::Or:
         break; // Handled above.
       }
-      runtimeFault("unhandled binary operator");
+      fault(FaultKind::Unsupported, BE->loc(), F,
+            "unhandled binary operator");
     }
     }
-    runtimeFault("unhandled expression kind");
+    fault(FaultKind::Unsupported, E->loc(), F, "unhandled expression kind");
   }
 
   void store(const Expr *Target, Value V, Frame &F) {
@@ -525,9 +668,12 @@ private:
     for (const Symbol *S : Plan->PrivateArrays)
       M.PrivateIds.insert(S->id());
 
+    LoopCtxGuard Ctx(F);
+    F.CurLoop = DS;
     Monitors.push_back(&M);
     for (int64_t I = Lo; I <= Up; ++I) {
       M.CurIter = I;
+      F.CurIter = I;
       setScalar(DS->indexVar(), I, F);
       execBody(DS->body(), F);
     }
@@ -574,14 +720,17 @@ private:
       while (eval(WS->condition(), F).truthy()) {
         execBody(WS->body(), F);
         if (++Guard > 100000000u)
-          runtimeFault("while loop exceeded the iteration guard");
+          fault(FaultKind::IterationGuard, WS->loc(), F,
+                "while loop exceeded the iteration guard",
+                /*Sym=*/nullptr, /*HasValue=*/true, Guard, 100000000);
       }
       return;
     }
     case StmtKind::Call: {
       const auto *CS = cast<CallStmt>(S);
       if (!CS->callee())
-        runtimeFault("call to unresolved procedure");
+        fault(FaultKind::UnresolvedCall, CS->loc(), F,
+              "call to unresolved procedure '" + CS->calleeName() + "'");
       execBody(CS->callee()->body(), F);
       return;
     }
@@ -596,7 +745,8 @@ private:
     int64_t Up = eval(DS->upper(), F).asInt();
     int64_t Step = DS->step() ? eval(DS->step(), F).asInt() : 1;
     if (Step == 0)
-      runtimeFault("do loop with zero step");
+      fault(FaultKind::BadStep, DS->loc(), F, "do loop with zero step",
+            DS->indexVar(), /*HasValue=*/true, /*Value=*/0);
 
     bool Timed = !DS->label().empty() && Stats && !F.InParallel;
     Timer LoopTimer;
@@ -638,7 +788,11 @@ private:
 
     if (!Plan || NIter < 2 ||
         satMul(NIter, bodyWeight(DS)) < Opts.MinParallelWork) {
+      LoopCtxGuard Ctx(F);
+      F.CurLoop = DS;
       for (int64_t I = Lo; Step > 0 ? I <= Up : I >= Up; I += Step) {
+        F.CurIter = I;
+        checkInjection(DS, I, F);
         setScalar(DS->indexVar(), I, F);
         execBody(DS->body(), F);
       }
@@ -699,6 +853,18 @@ private:
       }
     };
 
+    // Fault containment: under Report/Replay the dispatch is a transaction.
+    // Snapshot every buffer the loop MAY write (the conservative
+    // SymbolUses-derived write set — sound even when the plan under test
+    // was mutated) so a trapped worker fault can roll the loop back to its
+    // pre-dispatch state. Abort keeps the legacy no-snapshot semantics.
+    const bool Transactional = Opts.OnFault != FaultAction::Abort;
+    std::vector<std::pair<const Symbol *, Buffer>> Snapshot;
+    if (Transactional)
+      for (const Symbol *S : loopWriteSet(DS))
+        Snapshot.emplace_back(S, Mem.buffer(S));
+    FaultSlot Faults;
+
     ChunkDispenser Disp(Lo, Up, T, Opts.Sched, Opts.ChunkSize);
 
     // Runs one dispensed chunk on worker W; returns its seconds (including
@@ -717,7 +883,11 @@ private:
       Frame FW;
       FW.Overrides = &WS.Overrides;
       FW.InParallel = true;
+      FW.CurLoop = DS;
+      FW.Worker = W;
       for (int64_t I = First; I <= Last; ++I) {
+        FW.CurIter = I;
+        checkInjection(DS, I, FW);
         setScalar(DS->indexVar(), I, FW);
         execBody(DS->body(), FW);
       }
@@ -757,7 +927,14 @@ private:
           Done[W] = true;
           continue;
         }
-        Clock[W] += RunChunk(W, First, Last, ChunkId);
+        // Simulated workers fault exactly like threaded ones: trap,
+        // publish first-fault-wins, cancel the dispenser.
+        try {
+          Clock[W] += RunChunk(W, First, Last, ChunkId);
+        } catch (FaultException &FE) {
+          Faults.record(std::move(FE.Fault));
+          Disp.cancel();
+        }
       }
       double SumChunks = 0, MaxClock = 0;
       for (unsigned W = 0; W < T; ++W) {
@@ -770,10 +947,30 @@ private:
       if (!Pool || Pool->maxWorkers() < T)
         Pool = std::make_unique<WorkerPool>(Opts.Threads);
       Pool->run(T, [&](unsigned W) {
+        // Nothing may escape this lambda: an exception crossing into
+        // WorkerPool::workerLoop would std::terminate the process. A
+        // structured fault is trapped and published first-fault-wins;
+        // anything else becomes an Internal fault. Either way the
+        // dispenser is cancelled so sibling workers drain at chunk
+        // granularity instead of racing a dying loop.
         int64_t First, Last;
         unsigned ChunkId;
-        while (Disp.next(W, First, Last, ChunkId))
-          RunChunk(W, First, Last, ChunkId);
+        try {
+          while (Disp.next(W, First, Last, ChunkId))
+            RunChunk(W, First, Last, ChunkId);
+        } catch (FaultException &FE) {
+          Faults.record(std::move(FE.Fault));
+          Disp.cancel();
+        } catch (const std::exception &Ex) {
+          RuntimeFault RF;
+          RF.Kind = FaultKind::Internal;
+          RF.Loop = DS->label().empty() ? "<unlabeled>" : DS->label();
+          RF.Worker = W;
+          RF.InParallel = true;
+          RF.Detail = Ex.what();
+          Faults.record(std::move(RF));
+          Disp.cancel();
+        }
       });
     }
 
@@ -789,6 +986,69 @@ private:
         Stats->ChunkSecondsMax = std::max(Stats->ChunkSecondsMax,
                                           WS.SecondsMax);
       }
+    }
+
+    // A worker faulted: the torn parallel state must not be merged.
+    if (unsigned NFaults = Faults.Count.load(std::memory_order_relaxed)) {
+      interp_faults_trapped += NFaults;
+      FS.FaultsObserved += NFaults;
+      if (Stats)
+        Stats->WorkerFaults += NFaults;
+      RuntimeFault First = std::move(*Faults.First);
+      if (!Transactional)
+        // Abort: no snapshot exists, shared state is possibly torn.
+        // Propagate and let the driver decide whether to kill the process.
+        throw FaultException(std::move(First));
+
+      // Roll the transaction back: restore every MAY-written buffer and
+      // bump its version past the snapshot's, so inspector verdicts keyed
+      // on the aborted loop's index-array contents are invalidated.
+      for (auto &[S, Buf] : Snapshot) {
+        uint64_t V = Buf.Version;
+        Mem.buffer(S) = std::move(Buf);
+        Mem.buffer(S).Version = V + 1;
+      }
+      ++FS.Rollbacks;
+      ++interp_fault_rollbacks;
+      if (Stats)
+        ++Stats->FaultRollbacks;
+
+      if (Opts.OnFault == FaultAction::Report) {
+        addFaultRemark(DS, First, "rolled back, reported", nullptr);
+        throw FaultException(std::move(First));
+      }
+
+      // Replay: serial re-execution of the rolled-back loop. It either
+      // reproduces the fault with exact serial attribution, or completes
+      // correctly — proving the fault an artifact of parallel execution
+      // (e.g. damage done by a mis-certified plan, or an injected
+      // parallel-only fault).
+      ++FS.Replays;
+      ++interp_fault_replays;
+      if (Stats)
+        ++Stats->FaultReplays;
+      Frame FR = F;
+      FR.InReplay = true;
+      FR.CurLoop = DS;
+      try {
+        for (int64_t I = Lo; I <= Up; ++I) {
+          FR.CurIter = I;
+          checkInjection(DS, I, FR);
+          setScalar(DS->indexVar(), I, FR);
+          execBody(DS->body(), FR);
+        }
+      } catch (FaultException &FE) {
+        addFaultRemark(DS, First, "replay reproduced the fault", &FE.Fault);
+        throw;
+      }
+      setScalar(DS->indexVar(), Up + 1, FR);
+      ++FS.ReplaysRecovered;
+      ++interp_fault_replays_recovered;
+      addFaultRemark(DS, First, "replay recovered", nullptr);
+      if (Timed)
+        Stats->LoopSeconds[DS->label()] +=
+            LoopTimer.seconds() - (VirtualAdjust - AdjustAtEntry);
+      return;
     }
 
     // Merge reductions: global += sum of partials of the workers that ran.
@@ -814,7 +1074,8 @@ private:
       if (WS.Ran && WS.LastIter == Up)
         LastW = &WS;
     if (!LastW)
-      runtimeFault("no worker executed the final iteration");
+      fault(FaultKind::Internal, DS->loc(), F,
+            "no worker executed the final iteration");
     for (const Symbol *S : Plan->PrivateScalars)
       Mem.buffer(S) = LastW->Overrides.at(S->id());
     for (const Symbol *S : Plan->PrivateArrays)
@@ -883,9 +1144,11 @@ private:
   // Runtime-check inspection (ExecOptions::RuntimeChecks)
   //===--------------------------------------------------------------------===//
 
-  /// Bumps the version counter of every symbol the loop body writes
-  /// (transitively through calls), memoizing the write set per loop.
-  void bumpWriteSetVersions(const DoStmt *DS) {
+  /// The symbols the loop body MAY write (transitively through calls) plus
+  /// the index variable, memoized per loop. This conservative set backs
+  /// both the post-join version bumps and the transactional snapshot of
+  /// the fault-containment path.
+  const std::vector<const Symbol *> &loopWriteSet(const DoStmt *DS) {
     if (!UsesForVersions)
       UsesForVersions.emplace(Prog);
     auto [It, Inserted] = LoopWriteSets.try_emplace(DS);
@@ -894,7 +1157,12 @@ private:
       It->second.assign(U.Writes.begin(), U.Writes.end());
       It->second.push_back(DS->indexVar());
     }
-    for (const Symbol *S : It->second)
+    return It->second;
+  }
+
+  /// Bumps the version counter of every symbol in the loop's write set.
+  void bumpWriteSetVersions(const DoStmt *DS) {
+    for (const Symbol *S : loopWriteSet(DS))
       ++Mem.buffer(S).Version;
   }
 
@@ -921,6 +1189,14 @@ private:
   /// loops bump their write set after the join) forces a re-inspection.
   bool inspectionPasses(const DoStmt *DS, const xform::LoopPlan &Plan,
                         int64_t Lo, int64_t Up) {
+    // Test-only: a lying inspector vouches for the loop without scanning,
+    // so containment of the resulting faults (a parallel dispatch the data
+    // does not support) can be exercised end to end.
+    if (Opts.Injector && Opts.Injector->skipInspection(DS)) {
+      recordDecision(DS, /*Cached=*/false, /*DidPass=*/true,
+                     "inspection skipped by fault injector");
+      return true;
+    }
     // The bounds-within check reads only the bounded array's *extent*
     // (fixed for the run), so data writes to it must not invalidate the
     // cache — only Index/Length contents participate in the key.
@@ -985,6 +1261,9 @@ private:
   Memory &Mem;
   const ExecOptions &Opts;
   ExecStats *Stats;
+  /// Per-run fault summary (owned by Interpreter); execDo accumulates
+  /// trapped-fault, rollback, and replay counts here.
+  FaultState &FS;
   std::vector<std::vector<int64_t>> DimExtents;
   std::map<const DoStmt *, int64_t> BodyWeights;
 
@@ -1017,13 +1296,30 @@ Memory Interpreter::run(const ExecOptions &Opts, ExecStats *Stats) {
   Span.arg("threads", std::to_string(Opts.Threads));
   Span.arg("mode", Opts.Simulate ? "simulate" : "threaded");
   ++interp_runs;
-  Memory Mem(Prog);
+  LastFault = FaultState{};
   Timer Total;
-  Exec E(Prog, Mem, Opts, Stats);
-  E.runMain();
+  Memory Mem;
+  std::optional<Exec> E;
+  // A program-level fault (bad extent during allocation, a serial fault,
+  // a parallel fault the policy chose to propagate) unwinds to here —
+  // never out of run(), never to std::abort. The returned memory holds the
+  // state at the fault; rolled-back loops were already restored.
+  try {
+    Mem = Memory(Prog);
+    E.emplace(Prog, Mem, Opts, Stats, LastFault);
+    E->runMain();
+  } catch (FaultException &FE) {
+    ++interp_faults_trapped;
+    LastFault.Faulted = true;
+    ++LastFault.FaultsObserved;
+    LastFault.Fault = std::move(FE.Fault);
+    if (Span.active())
+      Span.arg("fault", faultKindName(LastFault.Fault.Kind));
+  }
   if (Stats) {
     Stats->WallSeconds = Total.seconds();
-    Stats->TotalSeconds = Stats->WallSeconds - E.VirtualAdjust;
+    Stats->TotalSeconds =
+        Stats->WallSeconds - (E ? E->VirtualAdjust : 0.0);
   }
   return Mem;
 }

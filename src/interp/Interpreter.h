@@ -25,8 +25,10 @@
 #ifndef IAA_INTERP_INTERPRETER_H
 #define IAA_INTERP_INTERPRETER_H
 
+#include "interp/Fault.h"
 #include "interp/ThreadPool.h"
 #include "mf/Program.h"
+#include "support/Remarks.h"
 #include "xform/Parallelizer.h"
 
 #include <cstdint>
@@ -58,6 +60,15 @@ struct Buffer {
 /// Whole-program memory: one buffer per symbol, indexed by symbol id.
 class Memory {
 public:
+  /// Empty memory (no symbols); what Interpreter::run returns when the
+  /// allocating constructor itself faults.
+  Memory() = default;
+
+  /// Allocates a buffer per symbol. Throws FaultException (kind BadExtent
+  /// or DivByZero) on a non-constant, non-positive, or overflowing extent —
+  /// the element-count multiply is overflow-checked and the total
+  /// allocation is capped, so a hostile extent can neither wrap to a
+  /// too-small buffer nor drive the process out of memory.
   explicit Memory(const mf::Program &P);
 
   Buffer &buffer(const mf::Symbol *S) { return Buffers[S->id()]; }
@@ -126,6 +137,22 @@ struct ExecOptions {
   /// repeated invocations skip re-inspection until an index array is
   /// rewritten. Only meaningful together with Plans and Threads > 1.
   bool RuntimeChecks = false;
+  /// Fault-containment policy for parallel loops. Under Report and Replay,
+  /// every parallel (or runtime-conditional) dispatch snapshots the loop's
+  /// MAY-written shared buffers first; a worker fault is trapped locally,
+  /// published first-fault-wins, cancels the chunk dispenser, and after the
+  /// join the snapshot is rolled back (bumping each restored buffer's
+  /// Version so inspector verdict caches invalidate). Replay additionally
+  /// re-executes the loop serially: it either reproduces the fault with
+  /// exact serial attribution or completes correctly when the fault was an
+  /// artifact of parallel execution. Abort skips the snapshot and
+  /// propagates the first fault with shared state possibly torn (legacy
+  /// semantics, minus the process abort). Serial faults always unwind to
+  /// Interpreter::faultState() regardless of this setting.
+  FaultAction OnFault = FaultAction::Replay;
+  /// Test-only fault-injection hook (see FaultInjectionHook); null in
+  /// production runs.
+  const FaultInjectionHook *Injector = nullptr;
 };
 
 /// Classification of one dynamically observed cross-iteration conflict.
@@ -201,6 +228,15 @@ struct ExecStats {
     std::string str() const;
   };
   std::vector<RuntimeDecision> RuntimeDecisions;
+
+  /// Fault containment (ExecOptions::OnFault).
+  unsigned WorkerFaults = 0;   ///< Faults trapped inside parallel workers.
+  unsigned FaultRollbacks = 0; ///< Loop transactions rolled back.
+  unsigned FaultReplays = 0;   ///< Serial replays executed after rollback.
+  /// One FaultReplay remark per rolled-back parallel loop (capped at 64),
+  /// stating the trapped fault and whether the serial replay recovered or
+  /// reproduced it.
+  std::vector<Remark> FaultRemarks;
 };
 
 /// Runs \p P (starting at "main") against fresh memory; returns the final
@@ -209,11 +245,19 @@ class Interpreter {
 public:
   explicit Interpreter(const mf::Program &P) : Prog(P) {}
 
-  /// Executes the program; the returned Memory holds the final state.
+  /// Executes the program; the returned Memory holds the final state. A
+  /// program-level fault never aborts the process: serial faults unwind
+  /// here (the returned memory holds the state at the fault, rolled-back
+  /// loops excepted) and faultState() reports what happened; parallel-
+  /// worker faults are contained per ExecOptions::OnFault.
   Memory run(const ExecOptions &Opts, ExecStats *Stats = nullptr);
+
+  /// Fault summary of the most recent run (reset on each run call).
+  const FaultState &faultState() const { return LastFault; }
 
 private:
   const mf::Program &Prog;
+  FaultState LastFault;
 };
 
 } // namespace interp

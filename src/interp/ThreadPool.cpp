@@ -138,8 +138,9 @@ bool ChunkDispenser::next(unsigned W, int64_t &First, int64_t &Last,
                           unsigned &ChunkId) {
   // Zero-trip guard (Up < Lo): nothing to dispense under any policy, and
   // the per-policy cursors below must stay untouched so arbitrarily many
-  // polls of an empty space stay safe.
-  if (Iterations == 0)
+  // polls of an empty space stay safe. A cancelled dispenser likewise
+  // dispenses nothing more, so faulting loops drain at chunk granularity.
+  if (Iterations == 0 || Cancelled.load(std::memory_order_acquire))
     return false;
   switch (Sched) {
   case Schedule::Static: {

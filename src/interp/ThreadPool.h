@@ -107,9 +107,22 @@ public:
   ChunkDispenser(int64_t Lo, int64_t Up, unsigned Workers, Schedule Sched,
                  int64_t ChunkSize);
 
-  /// Grabs worker \p W's next chunk; false when its share is exhausted.
+  /// Grabs worker \p W's next chunk; false when its share is exhausted or
+  /// the dispenser was cancelled.
   /// \p ChunkId is the dispense-order id (0-based), used by trace spans.
   bool next(unsigned W, int64_t &First, int64_t &Last, unsigned &ChunkId);
+
+  /// Cooperative cancellation: after cancel(), next() returns false for
+  /// every worker, so a fork/join whose workers loop on next() drains at
+  /// chunk granularity. Used by the fault-containment path — the worker
+  /// that traps a fault cancels the dispenser so its siblings stop taking
+  /// new work instead of racing a dying loop. Thread-safe; idempotent.
+  void cancel() { Cancelled.store(true, std::memory_order_release); }
+
+  /// True once cancel() was called.
+  bool cancelled() const {
+    return Cancelled.load(std::memory_order_acquire);
+  }
 
   /// Non-empty chunks dispensed so far.
   unsigned chunksDispensed() const {
@@ -128,6 +141,7 @@ private:
   /// exhausted polls never touch the cursor.
   int64_t Iterations;
   std::atomic<int64_t> Cursor;      ///< Next undispensed iteration.
+  std::atomic<bool> Cancelled{false};
   std::atomic<unsigned> Dispensed{0};
   std::vector<int64_t> StaticBlock; ///< Per-worker next block index.
 };

@@ -17,6 +17,7 @@ const char *iaa::remarkKindName(Remark::Kind K) {
   case Remark::Kind::Missed:       return "missed";
   case Remark::Kind::Audit:        return "audit";
   case Remark::Kind::RuntimeCheck: return "runtime-check";
+  case Remark::Kind::FaultReplay:  return "fault-replay";
   }
   return "?";
 }

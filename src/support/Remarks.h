@@ -32,6 +32,9 @@ struct Remark {
     Audit,        ///< Plan-auditor verdict for a parallel-marked loop.
     RuntimeCheck, ///< Statically serial, parallel conditional on runtime
                   ///< checks; Evidence lists the obligations.
+    FaultReplay,  ///< A parallel loop trapped a worker fault, rolled its
+                  ///< transaction back, and was replayed serially; Evidence
+                  ///< records the fault and whether the replay recovered.
   };
 
   /// Loop label ("<unlabeled>" when the source gave none).

@@ -1,0 +1,38 @@
+//===- verify/FaultInjector.cpp - Deterministic fault injection -----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/FaultInjector.h"
+
+#include "mf/Program.h"
+
+using namespace iaa;
+using namespace iaa::verify;
+
+std::optional<interp::InjectedFault>
+FaultInjector::atIteration(const mf::DoStmt *Loop, int64_t Iteration,
+                           unsigned /*Worker*/, bool InParallel) const {
+  if (Loop->label().empty())
+    return std::nullopt;
+  for (const InjectionPoint &P : Points) {
+    if (P.Loop != Loop->label())
+      continue;
+    if (P.ParallelOnly && !InParallel)
+      continue;
+    if (P.Iteration != InjectionPoint::EveryIteration &&
+        P.Iteration != Iteration)
+      continue;
+    interp::InjectedFault F;
+    F.Kind = P.Kind;
+    F.Detail = P.Detail;
+    return F;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::skipInspection(const mf::DoStmt *Loop) const {
+  return !Loop->label().empty() && SkippedInspections.count(Loop->label());
+}

@@ -1,0 +1,95 @@
+//===- verify/FaultInjector.h - Deterministic fault injection ---*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the containment tests: an
+/// interp::FaultInjectionHook implementation that forces a structured fault
+/// at chosen (loop, iteration) points — optionally only when the iteration
+/// runs inside a parallel chunk, so a serial replay of the rolled-back loop
+/// deterministically recovers — and can instruct the interpreter to skip a
+/// loop's runtime-check inspection entirely (a lying inspector / stale
+/// verdict), dispatching the loop parallel against data the checks would
+/// have rejected.
+///
+/// The injector is configured before the run and immutable during it, so
+/// workers may consult it concurrently without synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_VERIFY_FAULTINJECTOR_H
+#define IAA_VERIFY_FAULTINJECTOR_H
+
+#include "interp/Fault.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace verify {
+
+/// One configured injection site.
+struct InjectionPoint {
+  /// Label of the target loop ("<unlabeled>" never matches; injection
+  /// targets need labels).
+  std::string Loop;
+  /// Iteration to fault at; INT64_MIN faults every iteration (used by the
+  /// first-fault-wins tests, where every worker must trap one).
+  int64_t Iteration = 0;
+  /// When set, the fault only fires inside a parallel chunk — the serial
+  /// replay of the rolled-back loop then recovers deterministically.
+  bool ParallelOnly = true;
+  /// The fault to synthesize.
+  interp::FaultKind Kind = interp::FaultKind::Injected;
+  std::string Detail = "injected fault";
+
+  static constexpr int64_t EveryIteration = INT64_MIN;
+};
+
+/// Test-only fault injector (see interp::FaultInjectionHook). Configure
+/// with addPoint()/skipInspectionOf() before the run; const during it.
+class FaultInjector final : public interp::FaultInjectionHook {
+public:
+  FaultInjector &addPoint(InjectionPoint P) {
+    Points.push_back(std::move(P));
+    return *this;
+  }
+
+  /// Convenience: fault loop \p Loop at \p Iteration (parallel chunks
+  /// only), with the default Injected kind.
+  FaultInjector &faultAt(std::string Loop, int64_t Iteration,
+                         bool ParallelOnly = true) {
+    InjectionPoint P;
+    P.Loop = std::move(Loop);
+    P.Iteration = Iteration;
+    P.ParallelOnly = ParallelOnly;
+    return addPoint(std::move(P));
+  }
+
+  /// Lying-inspector mode: the runtime-check inspection of \p Loop is
+  /// skipped and the loop dispatches parallel unconditionally.
+  FaultInjector &skipInspectionOf(std::string Loop) {
+    SkippedInspections.insert(std::move(Loop));
+    return *this;
+  }
+
+  std::optional<interp::InjectedFault>
+  atIteration(const mf::DoStmt *Loop, int64_t Iteration, unsigned Worker,
+              bool InParallel) const override;
+
+  bool skipInspection(const mf::DoStmt *Loop) const override;
+
+private:
+  std::vector<InjectionPoint> Points;
+  std::set<std::string> SkippedInspections;
+};
+
+} // namespace verify
+} // namespace iaa
+
+#endif // IAA_VERIFY_FAULTINJECTOR_H

@@ -199,6 +199,10 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
     Rep.Label = L->label();
     LoopSpan.arg("loop", Rep.Label.empty() ? "<unlabeled>" : Rep.Label);
 
+    // The loop's conservative write footprint (LoopPlan::WriteEffects):
+    // what a transactional dispatch must snapshot to be able to roll back.
+    analysis::UseSet BodyUses = Uses.bodyUses(L->body());
+
     // 1. Dependence test without privatization to find the arrays that
     //    actually need it.
     deptest::LoopDepResult First = Dep.testLoop(L, {});
@@ -214,6 +218,8 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
     bool PrivOk = true;
     LoopPlan Plan;
     Plan.Loop = L;
+    Plan.WriteEffects.insert(BodyUses.Writes.begin(), BodyUses.Writes.end());
+    Plan.WriteEffects.insert(L->indexVar());
     if (EnablePrivatization) {
       Pv = Priv.analyze(L);
       Rep.PropertyQueries += Pv.PropertyQueries;

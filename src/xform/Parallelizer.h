@@ -67,6 +67,12 @@ struct LoopPlan {
   /// fallback.
   std::vector<deptest::RuntimeCheck> RuntimeChecks;
   bool RuntimeConditional = false;
+  /// Every symbol the loop body MAY write (transitively through calls),
+  /// including the index variable — the loop's conservative write
+  /// footprint. The fault-containment runtime snapshots exactly this set
+  /// before a transactional parallel dispatch, so a rolled-back loop
+  /// restores every buffer the body could have touched.
+  std::set<const mf::Symbol *> WriteEffects;
 };
 
 /// Analysis record for one loop (feeds Table 3).

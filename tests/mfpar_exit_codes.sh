@@ -1,0 +1,90 @@
+#!/bin/sh
+# Smoke-tests mfpar's exit-code taxonomy against a real binary:
+#   0  success
+#   2  bad flag / flag value
+#   4  the program faulted at runtime (--on-fault=report/replay)
+#   SIGABRT under --on-fault=abort (the driver aborts; the interpreter
+#   itself always unwinds cleanly)
+#
+# Usage: mfpar_exit_codes.sh path/to/mfpar
+set -u
+
+MFPAR=${1:?usage: mfpar_exit_codes.sh path/to/mfpar}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+ulimit -c 0 2>/dev/null || true
+
+FAILURES=0
+check() {
+  WANT=$1
+  DESC=$2
+  shift 2
+  "$@" >"$TMP/out" 2>"$TMP/err"
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    echo "FAIL: $DESC: expected exit $WANT, got $GOT" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $DESC (exit $GOT)"
+  fi
+}
+
+# A program whose scatter subscripts x out of bounds at iteration 500.
+cat >"$TMP/oob.mf" <<'EOF'
+program t
+  integer i, n
+  integer ind(1000)
+  real x(1000)
+  n = 1000
+  fill: do i = 1, n
+    ind(i) = i
+    x(i) = 0.0
+  end do
+  ind(500) = 2000
+  oob: do i = 1, n
+    x(ind(i)) = x(ind(i)) + 1.0
+  end do
+end
+EOF
+
+cat >"$TMP/good.mf" <<'EOF'
+program t
+  integer i, n
+  real x(100)
+  n = 100
+  lp: do i = 1, n
+    x(i) = i * 2.0
+  end do
+end
+EOF
+
+check 0 "clean analyze+run" "$MFPAR" "$TMP/good.mf" --run=2
+check 1 "missing input file" "$MFPAR" "$TMP/does-not-exist.mf"
+check 2 "unknown flag" "$MFPAR" --no-such-flag
+check 2 "bad --on-fault value" "$MFPAR" --on-fault=bogus
+check 2 "bad --schedule value" "$MFPAR" "$TMP/good.mf" --schedule=gided
+check 4 "runtime fault, replay policy" \
+  "$MFPAR" "$TMP/oob.mf" --run=2 --on-fault=replay
+check 4 "runtime fault, report policy" \
+  "$MFPAR" "$TMP/oob.mf" --run=2 --on-fault=report
+
+# --on-fault=abort keeps the legacy behavior: the driver aborts the
+# process (SIGABRT = 134 from sh) after printing the fault.
+"$MFPAR" "$TMP/oob.mf" --run=2 --on-fault=abort >"$TMP/out" 2>"$TMP/err"
+GOT=$?
+if [ "$GOT" -lt 128 ]; then
+  echo "FAIL: abort policy: expected a signal death, got exit $GOT" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: abort policy dies by signal (exit $GOT)"
+fi
+
+grep -q "runtime fault" "$TMP/err" ||
+  { echo "FAIL: fault report missing from stderr" >&2; FAILURES=$((FAILURES + 1)); }
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES exit-code check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code checks passed"

@@ -284,6 +284,8 @@ TEST(LastValue, MatchesSerialUnderEverySchedule) {
 TEST(RuntimeFault, DivisionByZeroInArrayExtent) {
   // m is a whole-program constant 0; the extent n / m used to silently
   // evaluate to 0 and trip the unrelated "extent must be positive" fault.
+  // Faults are structured values now, not process aborts: the run unwinds
+  // cleanly and faultState() carries the attribution.
   auto P = parseOrDie(R"(program t
     integer n, m
     real x(n / m)
@@ -291,7 +293,14 @@ TEST(RuntimeFault, DivisionByZeroInArrayExtent) {
     m = 0
     x(1) = 1.0
   end)");
-  EXPECT_DEATH({ Memory M(*P); }, "division by zero in array extent");
+  Interpreter I(*P);
+  I.run(ExecOptions{});
+  const FaultState &FS = I.faultState();
+  ASSERT_TRUE(FS.Faulted);
+  EXPECT_EQ(FS.Fault.Kind, FaultKind::DivByZero);
+  EXPECT_NE(FS.Fault.Detail.find("division by zero in array extent"),
+            std::string::npos);
+  EXPECT_TRUE(FS.Fault.Loc.isValid());
 }
 
 } // namespace

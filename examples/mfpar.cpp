@@ -11,7 +11,7 @@
 //         [--schedule=static|dynamic|guided] [--chunk=N]
 //         [--audit=off|warn|strict] [--race-check] [--runtime-check[=on|off]]
 //         [--on-fault=abort|report|replay] [--stats] [--trace=out.json]
-//         [--remarks=out.jsonl]
+//         [--remarks=out.jsonl] [--profile[=out.jsonl]]
 //
 //   --mode     pipeline configuration (default full)
 //   --run      execute the program (optionally in parallel with N threads)
@@ -38,6 +38,12 @@
 //   --stats    print the statistic counters and per-phase timings
 //   --trace    write a Chrome trace-event JSON file (chrome://tracing)
 //   --remarks  write optimization remarks as JSONL, one record per loop
+//   --profile  sample memory accesses during the run (implies --run):
+//              prints a per-loop health report (dispatch verdict, access
+//              locality, imbalance, analysis-cost share) and writes the
+//              full profile — reuse-distance histograms, cache-line
+//              footprints, per-worker chunk timelines, optional hardware
+//              counters — as JSONL (default profile.jsonl)
 //
 // With no file argument it analyzes the paper's Fig. 1(a) example.
 //
@@ -50,7 +56,9 @@
 #include "benchprogs/Benchmarks.h"
 #include "interp/Interpreter.h"
 #include "mf/Parser.h"
+#include "prof/Profiler.h"
 #include "support/Remarks.h"
+#include "support/Timer.h"
 #include "support/Statistic.h"
 #include "support/Trace.h"
 #include "verify/PlanAudit.h"
@@ -74,7 +82,7 @@ static int usage() {
                "[--chunk=N] [--audit=off|warn|strict] [--race-check] "
                "[--runtime-check[=on|off]] [--on-fault=abort|report|replay] "
                "[--dump] [--annotate] [--stats] "
-               "[--trace=FILE] [--remarks=FILE]\n");
+               "[--trace=FILE] [--remarks=FILE] [--profile[=FILE]]\n");
   return 2;
 }
 
@@ -119,6 +127,8 @@ int main(int argc, char **argv) {
   bool Stats = false;
   std::string TracePath;
   std::string RemarksPath;
+  bool Profile = false;
+  std::string ProfilePath = "profile.jsonl";
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -181,6 +191,14 @@ int main(int argc, char **argv) {
       RemarksPath = Arg.substr(10);
       if (RemarksPath.empty())
         return usage();
+    } else if (Arg == "--profile") {
+      Profile = true;
+    } else if (Arg.rfind("--profile=", 0) == 0) {
+      Profile = true;
+      ProfilePath = Arg.substr(10);
+      if (ProfilePath.empty())
+        return badValue("--profile", ProfilePath,
+                        "a non-empty output path");
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "mfpar: unknown option '%s'\n", Arg.c_str());
       return usage();
@@ -188,6 +206,9 @@ int main(int argc, char **argv) {
       Path = Arg;
     }
   }
+
+  if (Profile)
+    Run = true; // A profile without a run would be empty.
 
   std::string Source;
   if (Path.empty()) {
@@ -214,7 +235,10 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  prof::Session ProfSession;
   xform::PipelineResult R = xform::parallelize(*P, Mode);
+  if (Profile)
+    ProfSession.notePhase("pipeline", R.TotalSeconds);
   std::printf("pipeline: %s\n", xform::pipelineModeName(Mode));
   std::printf("passes: %u constants propagated, %u forward substitutions, "
               "%u dead statements removed, %u inductions substituted\n",
@@ -225,9 +249,12 @@ int main(int argc, char **argv) {
   std::printf("%s", R.str().c_str());
 
   if (Audit != verify::AuditMode::Off) {
+    Timer AuditTimer;
     verify::PlanAuditor Auditor(*P);
     verify::AuditResult A = Auditor.audit(R);
     unsigned Demoted = verify::recordAudit(R, A, Audit);
+    if (Profile)
+      ProfSession.notePhase("audit", AuditTimer.seconds());
     std::printf("\n--- plan audit (%s) ---\n%s",
                 verify::auditModeName(Audit), A.str().c_str());
     if (Demoted)
@@ -298,6 +325,8 @@ int main(int argc, char **argv) {
     Par.RuntimeChecks = RuntimeChecks;
     Par.OnFault = OnFault;
     Par.Simulate = true; // Works on any host core count.
+    if (Profile)
+      Par.Prof = &ProfSession;
     interp::ExecStats ParStats;
     interp::Memory Parallel = I.run(Par, &ParStats);
     const interp::FaultState &ParFS = I.faultState();
@@ -333,6 +362,18 @@ int main(int argc, char **argv) {
            ParStats.RuntimeDecisions)
         std::printf("  %s\n", D.str().c_str());
     }
+  }
+
+  if (Profile) {
+    std::printf("\n%s", ProfSession.healthText(&R).c_str());
+    if (!ProfSession.writeJsonl(ProfilePath, &R)) {
+      std::fprintf(stderr, "mfpar: cannot write %s\n", ProfilePath.c_str());
+      return 1;
+    }
+    std::printf("profile written to %s (%zu loop records%s)\n",
+                ProfilePath.c_str(), ProfSession.invocations().size(),
+                ProfSession.countersAvailable() ? ", hardware counters on"
+                                                : "");
   }
 
   if (!RemarksPath.empty()) {

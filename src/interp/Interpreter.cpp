@@ -12,6 +12,7 @@
 #include "interp/Fault.h"
 #include "interp/Inspector.h"
 #include "interp/ThreadPool.h"
+#include "prof/Profiler.h"
 #include "support/Saturating.h"
 #include "support/Statistic.h"
 #include "support/Timer.h"
@@ -293,6 +294,12 @@ public:
     int64_t CurIter = 0;
     unsigned Worker = 0;
     bool InReplay = false;
+    /// Profiling sample countdown: decremented per element access while a
+    /// recorder is active; hits zero on the access to sample, and the
+    /// recorder hands back the next (jittered) skip. Keeping it in the
+    /// frame — already hot in cache — makes the per-access profiling cost
+    /// a pointer test plus one decrement.
+    uint32_t ProfSkip = 1;
   };
 
   void runMain() {
@@ -331,6 +338,41 @@ private:
     RF.Detail = std::move(Detail);
     throw FaultException(std::move(RF));
   }
+
+  /// RAII profiling scope for one labeled-loop invocation. Opens a
+  /// recorder in the session, routes element accesses to it via ProfCur
+  /// (nested unlabeled loops flow to the enclosing labeled recorder; a
+  /// past-the-cap "light" invocation suspends access attribution instead
+  /// of leaking into the outer loop), and finalizes on destruction — so a
+  /// fault unwinding out of the loop still lands a complete record.
+  /// ProfCur is only mutated here, in serial context; workers read it.
+  struct ProfScope {
+    Exec &E;
+    prof::LoopRecorder *Rec = nullptr;
+    prof::LoopRecorder *Prev = nullptr;
+
+    ProfScope(Exec &E, const DoStmt *DS, bool InParallel, int64_t Lo,
+              int64_t Up, int64_t NIter)
+        : E(E) {
+      if (!E.Opts.Prof || InParallel || DS->label().empty())
+        return;
+      Rec = E.Opts.Prof->beginLoop(DS->label(), E.Prog.numSymbols(),
+                                   std::max(1u, E.Opts.Threads), Lo, Up,
+                                   NIter);
+      Prev = E.ProfCur;
+      E.ProfCur = Rec->light() ? nullptr : Rec;
+    }
+
+    ~ProfScope() {
+      if (!Rec)
+        return;
+      E.ProfCur = Prev;
+      E.Opts.Prof->endLoop(Rec);
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+  };
 
   /// Saves and restores a frame's loop-attribution context so each loop
   /// exit (normal or unwinding) re-exposes the enclosing loop's identity.
@@ -434,6 +476,9 @@ private:
       size_t Idx = linearIndex(AR, F);
       if (!Monitors.empty())
         noteRead(AR->array(), Idx);
+      if (ProfCur && --F.ProfSkip == 0)
+        F.ProfSkip = ProfCur->noteSampledAccess(AR->array(), Idx, B.size(),
+                                                /*IsWrite=*/false, F.Worker);
       return B.Kind == ScalarKind::Int ? Value::ofInt(B.I[Idx])
                                        : Value::ofReal(B.D[Idx]);
     }
@@ -532,6 +577,9 @@ private:
     size_t Idx = linearIndex(AR, F);
     if (!Monitors.empty())
       noteWrite(AR->array(), Idx);
+    if (ProfCur && --F.ProfSkip == 0)
+      F.ProfSkip = ProfCur->noteSampledAccess(AR->array(), Idx, B.size(),
+                                              /*IsWrite=*/true, F.Worker);
     // Serial-context writes bump the buffer's version (inspector-cache
     // key). Workers skip the bump — shared-buffer writes from inside a
     // parallel loop would race on the counter; execDo bumps the loop's
@@ -760,6 +808,11 @@ private:
     if (NIter < 0)
       NIter = 0;
 
+    // Profiling scope for labeled serial-context loops: opens a recorder
+    // in the session, finalized (even on unwinding) at scope exit.
+    ProfScope PS(*this, DS, F.InParallel, Lo, Up, NIter);
+    prof::LoopRecorder *Rec = PS.Rec;
+
     // Inspector/executor: a statically-serial loop carrying a
     // runtime-conditional plan is inspected before its first execution and
     // dispatched parallel only when every check passes against the actual
@@ -767,18 +820,28 @@ private:
     // inspection falls through to the serial path below, which is always
     // sound. Race checking deliberately skips conditional plans — they are
     // not parallel-marked, so there is no certification to validate.
+    bool CondInspected = false;
+    std::string CondDetail;
     if (!Plan && !F.InParallel && Opts.RuntimeChecks && !Opts.RaceCheck &&
         Opts.Plans && Opts.Threads > 1 && Step == 1 && NIter >= 2) {
       if (const xform::LoopPlan *Cond = Opts.Plans->conditionalPlanFor(DS))
-        if (satMul(NIter, bodyWeight(DS)) >= Opts.MinParallelWork &&
-            inspectionPasses(DS, *Cond, Lo, Up))
-          Plan = Cond;
+        if (satMul(NIter, bodyWeight(DS)) >= Opts.MinParallelWork) {
+          Timer InspectTimer;
+          CondInspected = true;
+          bool Pass = inspectionPasses(DS, *Cond, Lo, Up, &CondDetail);
+          if (Rec)
+            Rec->InspectUs += InspectTimer.seconds() * 1e6;
+          if (Pass)
+            Plan = Cond;
+        }
     }
 
     // Race checking replaces parallel execution: the plan-marked loop runs
     // serially under shadow tags, bypassing the profitability guard so
     // every certified plan is checked regardless of size.
     if (Plan && Opts.RaceCheck && NIter >= 2) {
+      if (Rec)
+        Rec->Detail = "race-check: plan-marked loop forced serial";
       execDoShadow(DS, Plan, Lo, Up, F);
       if (Timed)
         Stats->LoopSeconds[DS->label()] +=
@@ -788,6 +851,17 @@ private:
 
     if (!Plan || NIter < 2 ||
         satMul(NIter, bodyWeight(DS)) < Opts.MinParallelWork) {
+      if (Rec) {
+        if (CondInspected) {
+          // A passed inspection with a sufficient trip count dispatches in
+          // parallel, so reaching here means the inspection failed.
+          Rec->Kind = prof::DispatchKind::CondSerial;
+          Rec->Detail = CondDetail;
+        } else if (Plan) {
+          Rec->Kind = prof::DispatchKind::SerialSmall;
+          Rec->Detail = "below the parallel profitability threshold";
+        }
+      }
       LoopCtxGuard Ctx(F);
       F.CurLoop = DS;
       for (int64_t I = Lo; Step > 0 ? I <= Up : I >= Up; I += Step) {
@@ -811,6 +885,13 @@ private:
     unsigned T = Opts.Threads;
     if (static_cast<int64_t>(T) > NIter)
       T = static_cast<unsigned>(NIter);
+
+    if (Rec) {
+      Rec->Kind = CondInspected ? prof::DispatchKind::CondParallel
+                                : prof::DispatchKind::Parallel;
+      Rec->Threads = T;
+      Rec->Schedule = scheduleName(Opts.Sched);
+    }
 
     trace::TraceScope ParSpan("parallel-loop", "interp");
     ParSpan.arg("loop", DS->label().empty() ? "<unlabeled>" : DS->label());
@@ -874,6 +955,7 @@ private:
     auto RunChunk = [&](unsigned W, int64_t First, int64_t Last,
                         unsigned ChunkId) {
       trace::TraceScope ChunkSpan("chunk", "interp");
+      double ProfStartUs = Rec ? Rec->nowUs() : 0.0;
       Timer CT;
       WorkerState &WS = Workers[W];
       if (!WS.Ran) {
@@ -892,6 +974,8 @@ private:
         execBody(DS->body(), FW);
       }
       double Secs = CT.seconds();
+      if (Rec)
+        Rec->noteChunk(W, ChunkId, First, Last, ProfStartUs, Secs * 1e6);
       WS.LastIter = std::max(WS.LastIter, Last);
       ++WS.Chunks;
       WS.SecondsSum += Secs;
@@ -1003,17 +1087,22 @@ private:
       // Roll the transaction back: restore every MAY-written buffer and
       // bump its version past the snapshot's, so inspector verdicts keyed
       // on the aborted loop's index-array contents are invalidated.
+      Timer RollbackTimer;
       for (auto &[S, Buf] : Snapshot) {
         uint64_t V = Buf.Version;
         Mem.buffer(S) = std::move(Buf);
         Mem.buffer(S).Version = V + 1;
       }
+      if (Rec)
+        Rec->RollbackUs += RollbackTimer.seconds() * 1e6;
       ++FS.Rollbacks;
       ++interp_fault_rollbacks;
       if (Stats)
         ++Stats->FaultRollbacks;
 
       if (Opts.OnFault == FaultAction::Report) {
+        if (Rec)
+          Rec->Detail = "worker fault: rolled back, reported";
         addFaultRemark(DS, First, "rolled back, reported", nullptr);
         throw FaultException(std::move(First));
       }
@@ -1030,6 +1119,7 @@ private:
       Frame FR = F;
       FR.InReplay = true;
       FR.CurLoop = DS;
+      Timer ReplayTimer;
       try {
         for (int64_t I = Lo; I <= Up; ++I) {
           FR.CurIter = I;
@@ -1038,10 +1128,18 @@ private:
           execBody(DS->body(), FR);
         }
       } catch (FaultException &FE) {
+        if (Rec) {
+          Rec->ReplayUs += ReplayTimer.seconds() * 1e6;
+          Rec->Detail = "worker fault: replay reproduced the fault";
+        }
         addFaultRemark(DS, First, "replay reproduced the fault", &FE.Fault);
         throw;
       }
       setScalar(DS->indexVar(), Up + 1, FR);
+      if (Rec) {
+        Rec->ReplayUs += ReplayTimer.seconds() * 1e6;
+        Rec->Detail = "worker fault: replay recovered";
+      }
       ++FS.ReplaysRecovered;
       ++interp_fault_replays_recovered;
       addFaultRemark(DS, First, "replay recovered", nullptr);
@@ -1188,7 +1286,8 @@ private:
   /// array; any write to one of them (serial stores bump inline, parallel
   /// loops bump their write set after the join) forces a re-inspection.
   bool inspectionPasses(const DoStmt *DS, const xform::LoopPlan &Plan,
-                        int64_t Lo, int64_t Up) {
+                        int64_t Lo, int64_t Up,
+                        std::string *DetailOut = nullptr) {
     // Test-only: a lying inspector vouches for the loop without scanning,
     // so containment of the resulting faults (a parallel dispatch the data
     // does not support) can be exercised end to end.
@@ -1214,6 +1313,8 @@ private:
     if (!Inserted && E.Lo == Lo && E.Up == Up && E.Versions == Versions) {
       ++interp_inspections_cached;
       recordDecision(DS, /*Cached=*/true, E.Pass, E.Detail);
+      if (DetailOut)
+        *DetailOut = E.Detail;
       return E.Pass;
     }
 
@@ -1248,6 +1349,8 @@ private:
     if (Span.active())
       Span.arg("verdict", E.Pass ? "pass" : "fail");
     recordDecision(DS, /*Cached=*/false, E.Pass, E.Detail);
+    if (DetailOut)
+      *DetailOut = E.Detail;
     return E.Pass;
   }
 
@@ -1283,6 +1386,12 @@ private:
   /// Active shadow monitors, innermost last (non-empty only under
   /// ExecOptions::RaceCheck, inside plan-marked loops).
   std::vector<ShadowMonitor *> Monitors;
+  /// Innermost active loop recorder (null when profiling is off, inside
+  /// an unprofiled region, or during a past-the-cap light invocation).
+  /// Written only from serial context (ProfScope); parallel workers read
+  /// it — the fork publishes it, the join synchronizes before the next
+  /// mutation.
+  prof::LoopRecorder *ProfCur = nullptr;
   /// Created lazily on the first threaded parallel loop; its workers park
   /// on a condition variable between loops and are joined for good when the
   /// run finishes.

@@ -39,6 +39,11 @@
 #include <vector>
 
 namespace iaa {
+
+namespace prof {
+class Session;
+} // namespace prof
+
 namespace interp {
 
 /// Storage for one variable: a scalar is a size-1 buffer.
@@ -153,6 +158,13 @@ struct ExecOptions {
   /// Test-only fault-injection hook (see FaultInjectionHook); null in
   /// production runs.
   const FaultInjectionHook *Injector = nullptr;
+  /// Memory-access profiling session (prof/Profiler.h); null disables all
+  /// profiling hooks. The interpreter records, per labeled-loop
+  /// invocation, sampled cache-line access streams, per-worker chunk
+  /// timelines, dispatch decisions, and analysis-cost attribution into the
+  /// session. Observation only: program results are bit-identical with
+  /// profiling on or off.
+  prof::Session *Prof = nullptr;
 };
 
 /// Classification of one dynamically observed cross-iteration conflict.

@@ -1,0 +1,124 @@
+//===- prof/PerfCounters.cpp - Hardware counters via perf_event -----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/PerfCounters.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define IAA_HAVE_PERF_EVENT 1
+#include <cstring>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace iaa {
+namespace prof {
+
+#ifdef IAA_HAVE_PERF_EVENT
+
+namespace {
+
+long perfEventOpen(perf_event_attr &Attr, int GroupFd) {
+  // pid=0, cpu=-1: this thread, any CPU.
+  return syscall(SYS_perf_event_open, &Attr, 0, -1, GroupFd, 0);
+}
+
+int openCounter(uint32_t Type, uint64_t Config, int GroupFd, uint64_t &IdOut) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.size = sizeof(Attr);
+  Attr.type = Type;
+  Attr.config = Config;
+  Attr.disabled = GroupFd < 0 ? 1 : 0; // Leader starts the whole group.
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  Attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  int Fd = static_cast<int>(perfEventOpen(Attr, GroupFd));
+  if (Fd < 0)
+    return -1;
+  if (ioctl(Fd, PERF_EVENT_IOC_ID, &IdOut) < 0) {
+    close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+PerfCounters::PerfCounters() {
+  GroupFd = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+                        /*GroupFd=*/-1, CyclesId);
+  if (GroupFd < 0)
+    return;
+  InstrFd = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+                        GroupFd, InstrId);
+  MissFd = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
+                       GroupFd, MissId);
+  // Cycles + instructions are the useful core; LLC misses are best-effort
+  // (some hosts multiplex them away). But a group with no members beyond a
+  // leader that fails to read is useless — verify one read end to end and
+  // fall back to unavailable if it fails.
+  ioctl(GroupFd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(GroupFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  if (!read().Valid) {
+    if (MissFd >= 0)
+      close(MissFd);
+    if (InstrFd >= 0)
+      close(InstrFd);
+    close(GroupFd);
+    GroupFd = InstrFd = MissFd = -1;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  if (MissFd >= 0)
+    close(MissFd);
+  if (InstrFd >= 0)
+    close(InstrFd);
+  if (GroupFd >= 0)
+    close(GroupFd);
+}
+
+PerfSample PerfCounters::read() const {
+  PerfSample S;
+  if (GroupFd < 0)
+    return S;
+  // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
+  //   u64 nr; { u64 value; u64 id; } values[nr];
+  uint64_t Buf[1 + 2 * 8];
+  ssize_t N = ::read(GroupFd, Buf, sizeof(Buf));
+  if (N < static_cast<ssize_t>(sizeof(uint64_t)))
+    return S;
+  uint64_t Nr = Buf[0];
+  if (Nr == 0 || N < static_cast<ssize_t>((1 + 2 * Nr) * sizeof(uint64_t)))
+    return S;
+  for (uint64_t I = 0; I < Nr; ++I) {
+    uint64_t Value = Buf[1 + 2 * I];
+    uint64_t Id = Buf[2 + 2 * I];
+    if (Id == CyclesId)
+      S.Cycles = Value;
+    else if (Id == InstrId)
+      S.Instructions = Value;
+    else if (Id == MissId)
+      S.LlcMisses = Value;
+  }
+  S.Valid = true;
+  return S;
+}
+
+#else // !IAA_HAVE_PERF_EVENT
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+
+PerfSample PerfCounters::read() const { return PerfSample{}; }
+
+#endif
+
+} // namespace prof
+} // namespace iaa

@@ -1,0 +1,77 @@
+//===- prof/PerfCounters.h - Hardware counters via perf_event ---*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal perf_event_open wrapper for the profiler: one event group on
+/// the calling thread (cycles, instructions, LLC misses) read as running
+/// totals so nested readers can take deltas. Containers and non-Linux
+/// builds routinely refuse the syscall; every failure path degrades to
+/// available() == false and invalid samples — never a diagnostic, never a
+/// non-zero exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_PROF_PERFCOUNTERS_H
+#define IAA_PROF_PERFCOUNTERS_H
+
+#include <cstdint>
+
+namespace iaa {
+namespace prof {
+
+/// One reading of the counter group. Running totals, not deltas; subtract
+/// two samples to charge an interval. Valid is false when the group never
+/// opened (all counts zero).
+struct PerfSample {
+  bool Valid = false;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t LlcMisses = 0;
+
+  PerfSample operator-(const PerfSample &Begin) const {
+    PerfSample D;
+    D.Valid = Valid && Begin.Valid;
+    if (D.Valid) {
+      D.Cycles = Cycles - Begin.Cycles;
+      D.Instructions = Instructions - Begin.Instructions;
+      D.LlcMisses = LlcMisses - Begin.LlcMisses;
+    }
+    return D;
+  }
+};
+
+/// Opens a {cycles, instructions, LLC misses} group on the calling thread.
+/// The profiler runs loops on the calling thread in simulate mode, so this
+/// covers all chunk work there; under real threading it measures the
+/// coordinating thread only (documented caveat).
+class PerfCounters {
+public:
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters &) = delete;
+  PerfCounters &operator=(const PerfCounters &) = delete;
+
+  /// True when the group opened and reads.
+  bool available() const { return GroupFd >= 0; }
+
+  /// Reads current running totals; an invalid sample when unavailable.
+  PerfSample read() const;
+
+private:
+  int GroupFd = -1; ///< Cycles leader; -1 when unavailable.
+  int InstrFd = -1;
+  int MissFd = -1;
+  uint64_t InstrId = 0;
+  uint64_t MissId = 0;
+  uint64_t CyclesId = 0;
+};
+
+} // namespace prof
+} // namespace iaa
+
+#endif // IAA_PROF_PERFCOUNTERS_H

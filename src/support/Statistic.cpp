@@ -9,7 +9,9 @@
 
 #include "support/Json.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 
 using namespace iaa;
@@ -27,6 +29,20 @@ std::vector<Statistic *> &registry() {
 std::mutex &registryMutex() {
   static std::mutex M;
   return M;
+}
+
+/// Registration order depends on TU link order and static-init sequencing,
+/// so dumps sort by (group, name) to diff cleanly across runs and builds.
+/// Caller must hold the registry mutex.
+std::vector<Statistic *> sortedRegistry() {
+  std::vector<Statistic *> Sorted = registry();
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Statistic *A, const Statistic *B) {
+              if (int C = std::strcmp(A->group(), B->group()))
+                return C < 0;
+              return std::strcmp(A->name(), B->name()) < 0;
+            });
+  return Sorted;
 }
 
 } // namespace
@@ -56,7 +72,7 @@ void iaa::stat::resetAll() {
 std::string iaa::stat::table(bool IncludeZero) {
   std::lock_guard<std::mutex> Lock(registryMutex());
   std::string Out = "=== Statistics ===\n";
-  for (const Statistic *S : registry()) {
+  for (const Statistic *S : sortedRegistry()) {
     if (!IncludeZero && S->value() == 0)
       continue;
     char Buf[256];
@@ -72,7 +88,7 @@ std::string iaa::stat::json() {
   std::lock_guard<std::mutex> Lock(registryMutex());
   std::string Out = "{";
   bool First = true;
-  for (const Statistic *S : registry()) {
+  for (const Statistic *S : sortedRegistry()) {
     if (!First)
       Out += ",";
     First = false;

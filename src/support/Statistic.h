@@ -75,10 +75,11 @@ Statistic *find(const std::string &Name);
 void resetAll();
 
 /// Human-readable table of all nonzero counters (all counters when
-/// \p IncludeZero).
+/// \p IncludeZero), sorted by (group, name) so dumps diff cleanly.
 std::string table(bool IncludeZero = false);
 
-/// One JSON object {"group.name": value, ...} over all counters.
+/// One JSON object {"group.name": value, ...} over all counters, sorted by
+/// (group, name).
 std::string json();
 
 } // namespace stat

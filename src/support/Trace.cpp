@@ -8,13 +8,18 @@
 #include "support/Trace.h"
 
 #include "support/Json.h"
+#include "support/Statistic.h"
 
 #include <chrono>
+#include <deque>
 #include <fstream>
 #include <mutex>
 
 using namespace iaa;
 using namespace iaa::trace;
+
+#define IAA_STAT_GROUP "trace"
+IAA_STAT(trace_dropped, "Trace events discarded by the buffer cap");
 
 std::atomic<bool> iaa::trace::detail::Enabled{false};
 
@@ -22,11 +27,26 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+constexpr size_t DefaultMaxEvents = size_t(1) << 18;
+
 struct Collector {
   std::mutex Mutex;
-  std::vector<Event> Events;
+  std::deque<Event> Events;
+  size_t MaxEvents = DefaultMaxEvents;
+  size_t Dropped = 0;
   Clock::time_point Origin = Clock::now();
   uint32_t NextTid = 0;
+
+  /// Appends under the buffer cap, discarding the oldest event when full.
+  /// Caller must hold Mutex.
+  void append(Event &&E) {
+    if (Events.size() >= MaxEvents) {
+      Events.pop_front();
+      ++Dropped;
+      ++trace_dropped;
+    }
+    Events.push_back(std::move(E));
+  }
 };
 
 Collector &collector() {
@@ -60,6 +80,7 @@ void iaa::trace::clear() {
   Collector &C = collector();
   std::lock_guard<std::mutex> Lock(C.Mutex);
   C.Events.clear();
+  C.Dropped = 0;
   C.Origin = Clock::now();
 }
 
@@ -69,10 +90,42 @@ size_t iaa::trace::eventCount() {
   return C.Events.size();
 }
 
+void iaa::trace::setMaxEvents(size_t Max) {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  C.MaxEvents = Max == 0 ? DefaultMaxEvents : Max;
+  while (C.Events.size() > C.MaxEvents) {
+    C.Events.pop_front();
+    ++C.Dropped;
+    ++trace_dropped;
+  }
+}
+
+size_t iaa::trace::droppedCount() {
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  return C.Dropped;
+}
+
 std::vector<Event> iaa::trace::events() {
   Collector &C = collector();
   std::lock_guard<std::mutex> Lock(C.Mutex);
-  return C.Events;
+  return std::vector<Event>(C.Events.begin(), C.Events.end());
+}
+
+void iaa::trace::counter(const std::string &Name, double Value) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Name = Name;
+  E.Cat = "counter";
+  E.Ph = 'C';
+  E.TsMicros = nowMicros();
+  E.Value = Value;
+  E.Tid = currentTid();
+  Collector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.Mutex);
+  C.append(std::move(E));
 }
 
 void TraceScope::begin(const char *N, const char *C) {
@@ -94,11 +147,12 @@ void TraceScope::end() {
   E.Args = std::move(Args);
   Collector &C = collector();
   std::lock_guard<std::mutex> Lock(C.Mutex);
-  C.Events.push_back(std::move(E));
+  C.append(std::move(E));
 }
 
 std::string iaa::trace::json() {
   std::vector<Event> Evs = events();
+  size_t Dropped = droppedCount();
   std::string Out = "{\"traceEvents\": [";
   bool First = true;
   for (const Event &E : Evs) {
@@ -106,24 +160,31 @@ std::string iaa::trace::json() {
       Out += ",";
     First = false;
     Out += "\n  {\"name\": " + json::str(E.Name) +
-           ", \"cat\": " + json::str(E.Cat) +
-           ", \"ph\": \"X\", \"ts\": " + json::num(E.TsMicros) +
-           ", \"dur\": " + json::num(E.DurMicros) +
-           ", \"pid\": 1, \"tid\": " + std::to_string(E.Tid);
-    if (!E.Args.empty()) {
-      Out += ", \"args\": {";
-      bool FirstArg = true;
-      for (const auto &[K, V] : E.Args) {
-        if (!FirstArg)
-          Out += ", ";
-        FirstArg = false;
-        Out += json::str(K) + ": " + json::str(V);
+           ", \"cat\": " + json::str(E.Cat);
+    if (E.Ph == 'C') {
+      Out += ", \"ph\": \"C\", \"ts\": " + json::num(E.TsMicros) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(E.Tid) +
+             ", \"args\": {\"value\": " + json::num(E.Value) + "}";
+    } else {
+      Out += ", \"ph\": \"X\", \"ts\": " + json::num(E.TsMicros) +
+             ", \"dur\": " + json::num(E.DurMicros) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(E.Tid);
+      if (!E.Args.empty()) {
+        Out += ", \"args\": {";
+        bool FirstArg = true;
+        for (const auto &[K, V] : E.Args) {
+          if (!FirstArg)
+            Out += ", ";
+          FirstArg = false;
+          Out += json::str(K) + ": " + json::str(V);
+        }
+        Out += "}";
       }
-      Out += "}";
     }
     Out += "}";
   }
-  Out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Out += "\n], \"droppedEvents\": " + std::to_string(Dropped) +
+         ", \"displayTimeUnit\": \"ms\"}\n";
   return Out;
 }
 

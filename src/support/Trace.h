@@ -52,21 +52,39 @@ inline bool enabled() {
 /// Turns collection on or off. Enabling does not clear prior events.
 void enable(bool On);
 
-/// Drops all collected events (and resets the time origin).
+/// Drops all collected events (and resets the time origin and the dropped
+/// count).
 void clear();
 
-/// Number of events collected so far.
+/// Number of events currently buffered.
 size_t eventCount();
 
-/// One completed span ("ph":"X" in the trace-event format).
+/// Caps the in-memory event buffer: once full, the oldest events are
+/// discarded (counted by droppedCount() and the trace_dropped statistic)
+/// so long profiled runs cannot grow memory without limit. The default is
+/// 1<<18 events; \p Max = 0 restores it.
+void setMaxEvents(size_t Max);
+
+/// Events discarded by the buffer cap since the last clear().
+size_t droppedCount();
+
+/// One completed span ("ph":"X") or counter sample ("ph":"C") in the
+/// trace-event format.
 struct Event {
   std::string Name;
   std::string Cat;
+  char Ph = 'X';        ///< 'X' duration span, 'C' counter sample.
   double TsMicros = 0;  ///< Start, microseconds from the trace origin.
-  double DurMicros = 0; ///< Duration in microseconds.
+  double DurMicros = 0; ///< Duration in microseconds (spans only).
+  double Value = 0;     ///< Counter value ('C' events only).
   uint32_t Tid = 0;     ///< Dense per-process thread id.
   std::vector<std::pair<std::string, std::string>> Args;
 };
+
+/// Records a counter sample ("ph":"C"): \p Name becomes a counter track in
+/// the viewer with \p Value at the current timestamp. No-op when tracing
+/// is disabled.
+void counter(const std::string &Name, double Value);
 
 /// Snapshot of the events collected so far.
 std::vector<Event> events();

@@ -64,6 +64,11 @@ check 1 "missing input file" "$MFPAR" "$TMP/does-not-exist.mf"
 check 2 "unknown flag" "$MFPAR" --no-such-flag
 check 2 "bad --on-fault value" "$MFPAR" --on-fault=bogus
 check 2 "bad --schedule value" "$MFPAR" "$TMP/good.mf" --schedule=gided
+check 2 "empty --profile= value" "$MFPAR" "$TMP/good.mf" --profile=
+check 0 "profiled run writes JSONL" \
+  "$MFPAR" "$TMP/good.mf" --profile="$TMP/profile.jsonl" --run=2
+[ -s "$TMP/profile.jsonl" ] ||
+  { echo "FAIL: --profile wrote no JSONL" >&2; FAILURES=$((FAILURES + 1)); }
 check 4 "runtime fault, replay policy" \
   "$MFPAR" "$TMP/oob.mf" --run=2 --on-fault=replay
 check 4 "runtime fault, report policy" \

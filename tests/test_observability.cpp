@@ -26,6 +26,7 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 #include <vector>
 
 using namespace iaa;
@@ -115,6 +116,47 @@ TEST(Observability, StatsRegisterIncrementAndReset) {
   stat::resetAll();
   for (const stat::Statistic *S : stat::all())
     EXPECT_EQ(S->value(), 0u) << S->name();
+}
+
+TEST(Observability, StatsDumpsAreSortedByGroupThenName) {
+  // --stats output must be deterministic regardless of static-initializer
+  // registration order (which varies across link order and toolchains),
+  // so dumps from two builds diff cleanly. Both the table and the JSON
+  // emit counters sorted by (group, name).
+  std::string Full = stat::table(/*IncludeZero=*/true);
+  std::vector<std::pair<std::string, std::string>> Seen;
+  std::istringstream Rows(Full);
+  std::string Line;
+  while (std::getline(Rows, Line)) {
+    // Counter rows are "<value> <group> <name> <description...>" columns.
+    std::istringstream Cols(Line);
+    std::string Value, Group, Name;
+    if (!(Cols >> Value >> Group >> Name))
+      continue;
+    if (Value.find_first_not_of("0123456789") != std::string::npos)
+      continue; // Header line.
+    Seen.emplace_back(Group, Name);
+  }
+  ASSERT_GT(Seen.size(), 5u) << "expected many registered counters";
+  for (size_t I = 1; I < Seen.size(); ++I)
+    EXPECT_LT(Seen[I - 1], Seen[I])
+        << "table out of order at " << Seen[I - 1].first << "."
+        << Seen[I - 1].second << " vs " << Seen[I].first << "."
+        << Seen[I].second;
+
+  // JSON object keys "group.name" in document order.
+  std::string Json = stat::json();
+  std::vector<std::string> Keys;
+  for (size_t At = Json.find('"'); At != std::string::npos;
+       At = Json.find('"', At + 1)) {
+    size_t End = Json.find('"', At + 1);
+    ASSERT_NE(End, std::string::npos);
+    Keys.push_back(Json.substr(At + 1, End - At - 1));
+    At = End;
+  }
+  ASSERT_GT(Keys.size(), 5u);
+  for (size_t I = 1; I < Keys.size(); ++I)
+    EXPECT_LT(Keys[I - 1], Keys[I]) << "json keys out of order";
 }
 
 //===----------------------------------------------------------------------===//
@@ -234,6 +276,55 @@ TEST(Observability, TraceDisabledCollectsNothing) {
   trace::enable(false);
   EXPECT_EQ(trace::eventCount(), 0u);
   trace::clear();
+}
+
+TEST(Observability, TraceBufferDropsOldestWhenCapped) {
+  trace::clear();
+  stat::resetAll();
+  trace::setMaxEvents(8);
+  trace::enable(true);
+
+  for (int I = 0; I < 20; ++I) {
+    trace::TraceScope Span("span", "test");
+    Span.arg("i", std::to_string(I));
+  }
+  trace::enable(false);
+
+  // The buffer holds the *newest* 8 events; the 12 oldest were dropped
+  // and counted both by the query API and the trace_dropped statistic.
+  EXPECT_EQ(trace::eventCount(), 8u);
+  EXPECT_EQ(trace::droppedCount(), 12u);
+  stat::Statistic *Dropped = stat::find("trace_dropped");
+  ASSERT_NE(Dropped, nullptr);
+  EXPECT_EQ(Dropped->value(), 12u);
+  std::vector<trace::Event> Events = trace::events();
+  ASSERT_EQ(Events.size(), 8u);
+  EXPECT_EQ(Events.front().Args.at(0).second, "12");
+  EXPECT_EQ(Events.back().Args.at(0).second, "19");
+
+  // The JSON document stays well-formed and reports the drop count.
+  auto Doc = json::parse(trace::json());
+  ASSERT_TRUE(Doc.has_value());
+  const json::Value *DroppedField = Doc->member("droppedEvents");
+  ASSERT_NE(DroppedField, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(DroppedField->N), 12u);
+
+  // Counter samples ('C' events) flow through the same capped buffer.
+  trace::clear();
+  trace::enable(true);
+  trace::counter("loop-locality demo", 0.75);
+  trace::enable(false);
+  Events = trace::events();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Ph, 'C');
+  EXPECT_DOUBLE_EQ(Events[0].Value, 0.75);
+  std::string Json = trace::json();
+  EXPECT_NE(Json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(Json.find("\"value\""), std::string::npos);
+
+  trace::setMaxEvents(0); // Restore the default cap.
+  trace::clear();
+  stat::resetAll();
 }
 
 //===----------------------------------------------------------------------===//

@@ -9,6 +9,7 @@
 //
 //   mfpar FILE.mf [--mode=full|noiaa|apo] [--run[=THREADS]] [--dump]
 //         [--schedule=static|dynamic|guided] [--chunk=N]
+//         [--locality=off|model|reorder]
 //         [--audit=off|warn|strict] [--race-check] [--runtime-check[=on|off]]
 //         [--on-fault=abort|report|replay] [--stats] [--trace=out.json]
 //         [--remarks=out.jsonl] [--profile[=out.jsonl]]
@@ -17,6 +18,14 @@
 //   --run      execute the program (optionally in parallel with N threads)
 //   --schedule loop scheduling policy for parallel runs (default static)
 //   --chunk    chunk size for the scheduler (default: policy-dependent)
+//   --locality locality-aware scheduling (default off): model lets the
+//              static footprint model pick schedule, chunk size, and
+//              line-aligned chunk boundaries per loop (overriding
+//              --schedule/--chunk for parallel loops); reorder additionally
+//              has the inspector bucket runtime-checked gather loops'
+//              iterations by target cache line and execute them in the
+//              permuted order (original last iteration stays last, so
+//              results are bit-identical; implies the model's picks)
 //   --dump     print the normalized program after the transformation passes
 //   --annotate print the program with !$iaa parallel do directives
 //   --audit    independently re-certify every parallel-marked loop before
@@ -79,7 +88,8 @@ static int usage() {
   std::fprintf(stderr,
                "usage: mfpar [FILE.mf] [--mode=full|noiaa|apo] "
                "[--run[=THREADS]] [--schedule=static|dynamic|guided] "
-               "[--chunk=N] [--audit=off|warn|strict] [--race-check] "
+               "[--chunk=N] [--locality=off|model|reorder] "
+               "[--audit=off|warn|strict] [--race-check] "
                "[--runtime-check[=on|off]] [--on-fault=abort|report|replay] "
                "[--dump] [--annotate] [--stats] "
                "[--trace=FILE] [--remarks=FILE] [--profile[=FILE]]\n");
@@ -118,6 +128,7 @@ int main(int argc, char **argv) {
   unsigned Threads = 4;
   interp::Schedule Sched = interp::Schedule::Static;
   int64_t ChunkSize = 0;
+  sched::LocalityMode Locality = sched::LocalityMode::Off;
   verify::AuditMode Audit = verify::AuditMode::Off;
   bool RaceCheck = false;
   bool RuntimeChecks = false;
@@ -158,6 +169,10 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--chunk=", 0) == 0) {
       if (!parseInt(Arg.substr(8), ChunkSize) || ChunkSize <= 0)
         return badValue("--chunk", Arg.substr(8), "a positive integer");
+    } else if (Arg.rfind("--locality=", 0) == 0) {
+      if (!sched::parseLocalityMode(Arg.substr(11), Locality))
+        return badValue("--locality", Arg.substr(11),
+                        "off, model, or reorder");
     } else if (Arg.rfind("--audit=", 0) == 0) {
       if (!verify::parseAuditMode(Arg.substr(8), Audit))
         return badValue("--audit", Arg.substr(8), "off, warn, or strict");
@@ -322,6 +337,7 @@ int main(int argc, char **argv) {
     Par.Threads = Threads;
     Par.Sched = Sched;
     Par.ChunkSize = ChunkSize;
+    Par.Locality = Locality;
     Par.RuntimeChecks = RuntimeChecks;
     Par.OnFault = OnFault;
     Par.Simulate = true; // Works on any host core count.
@@ -349,6 +365,16 @@ int main(int argc, char **argv) {
                         Parallel.checksumExcluding(Dead)
                     ? "matches serial"
                     : "DIVERGES");
+    if (Locality != sched::LocalityMode::Off) {
+      std::printf("locality (%s): %u model pick%s, %u reorder%s built, "
+                  "%u cached\n",
+                  sched::localityModeName(Locality),
+                  ParStats.LocalityModelPicks,
+                  ParStats.LocalityModelPicks == 1 ? "" : "s",
+                  ParStats.LocalityReorders,
+                  ParStats.LocalityReorders == 1 ? "" : "s",
+                  ParStats.LocalityReordersCached);
+    }
     if (RuntimeChecks) {
       std::printf("runtime checks: %u inspection%s run, %u cached verdict%s, "
                   "%u serial fallback%s\n",

@@ -39,6 +39,12 @@ IAA_STAT(interp_inspections_cached,
          "Runtime-check verdicts served from the version cache");
 IAA_STAT(interp_runtime_check_fails,
          "Runtime-check decisions that fell back to serial");
+IAA_STAT(interp_locality_model_picks,
+         "Parallel dispatches scheduled by the locality footprint model");
+IAA_STAT(interp_locality_reorders,
+         "Fresh locality iteration permutations built by the inspector");
+IAA_STAT(interp_locality_reorders_cached,
+         "Locality permutations served from the version cache");
 IAA_STAT(interp_faults_trapped, "Runtime faults trapped (all contexts)");
 IAA_STAT(interp_fault_rollbacks,
          "Parallel-loop transactions rolled back after a worker fault");
@@ -348,12 +354,14 @@ private:
   /// ProfCur is only mutated here, in serial context; workers read it.
   struct ProfScope {
     Exec &E;
+    Frame &F;
     prof::LoopRecorder *Rec = nullptr;
     prof::LoopRecorder *Prev = nullptr;
+    uint32_t SavedSkip = 1;
 
-    ProfScope(Exec &E, const DoStmt *DS, bool InParallel, int64_t Lo,
-              int64_t Up, int64_t NIter)
-        : E(E) {
+    ProfScope(Exec &E, Frame &F, const DoStmt *DS, bool InParallel,
+              int64_t Lo, int64_t Up, int64_t NIter)
+        : E(E), F(F) {
       if (!E.Opts.Prof || InParallel || DS->label().empty())
         return;
       Rec = E.Opts.Prof->beginLoop(DS->label(), E.Prog.numSymbols(),
@@ -361,11 +369,21 @@ private:
                                    NIter);
       Prev = E.ProfCur;
       E.ProfCur = Rec->light() ? nullptr : Rec;
+      if (E.ProfCur) {
+        // The recorder reseeded its sample RNGs for this invocation, so
+        // the frame's countdown must restart too — a leftover skip from a
+        // previous invocation would phase-shift every sample this one
+        // takes, breaking run-to-run reproducibility.
+        SavedSkip = F.ProfSkip;
+        F.ProfSkip = 1;
+      }
     }
 
     ~ProfScope() {
       if (!Rec)
         return;
+      if (E.ProfCur == Rec)
+        F.ProfSkip = SavedSkip;
       E.ProfCur = Prev;
       E.Opts.Prof->endLoop(Rec);
     }
@@ -810,7 +828,7 @@ private:
 
     // Profiling scope for labeled serial-context loops: opens a recorder
     // in the session, finalized (even on unwinding) at scope exit.
-    ProfScope PS(*this, DS, F.InParallel, Lo, Up, NIter);
+    ProfScope PS(*this, F, DS, F.InParallel, Lo, Up, NIter);
     prof::LoopRecorder *Rec = PS.Rec;
 
     // Inspector/executor: a statically-serial loop carrying a
@@ -886,17 +904,42 @@ private:
     if (static_cast<int64_t>(T) > NIter)
       T = static_cast<unsigned>(NIter);
 
+    // Locality-aware scheduling: under Model/Reorder the footprint model
+    // overrides the dispenser's policy, chunk size, and alignment; under
+    // Reorder an inspected conditional loop additionally executes in the
+    // inspector's line-bucketed iteration order. Either way the result is
+    // bit-identical to the source order (the permutation pins the final
+    // iteration last, preserving last-value semantics).
+    Schedule Sch = Opts.Sched;
+    int64_t ChunkSize = Opts.ChunkSize;
+    int64_t Align = 1;
+    if (Opts.Locality != sched::LocalityMode::Off) {
+      const sched::SchedulePick &Pick = modelPickFor(DS, NIter, T);
+      Sch = Pick.Sched;
+      ChunkSize = Pick.ChunkSize;
+      Align = Pick.Align;
+      ++interp_locality_model_picks;
+      if (Stats)
+        ++Stats->LocalityModelPicks;
+    }
+    std::shared_ptr<const std::vector<int64_t>> Order;
+    if (CondInspected && Opts.Locality == sched::LocalityMode::Reorder)
+      Order = reorderPlanFor(DS, *Plan, Lo, Up);
+
     if (Rec) {
       Rec->Kind = CondInspected ? prof::DispatchKind::CondParallel
                                 : prof::DispatchKind::Parallel;
       Rec->Threads = T;
-      Rec->Schedule = scheduleName(Opts.Sched);
+      Rec->Schedule = scheduleName(Sch);
+      Rec->Locality = sched::localityModeName(Opts.Locality);
     }
 
     trace::TraceScope ParSpan("parallel-loop", "interp");
     ParSpan.arg("loop", DS->label().empty() ? "<unlabeled>" : DS->label());
     ParSpan.arg("threads", std::to_string(T));
-    ParSpan.arg("schedule", scheduleName(Opts.Sched));
+    ParSpan.arg("schedule", scheduleName(Sch));
+    if (Order)
+      ParSpan.arg("locality", "reorder");
 
     // Everything below is per-*worker-that-ran-iterations*: private copies
     // are built on a worker's first dispensed chunk, reduction partials are
@@ -907,10 +950,18 @@ private:
     struct WorkerState {
       std::unordered_map<unsigned, Buffer> Overrides;
       bool Ran = false;
-      int64_t LastIter = 0; ///< Highest iteration executed (valid if Ran).
+      int64_t LastIter = 0; ///< Highest *original* iteration executed
+                            ///< (valid if Ran; under a locality reorder the
+                            ///< dispensed positions are permuted, so this
+                            ///< tracks the mapped iterations).
       unsigned Chunks = 0;
       double SecondsSum = 0;
       double SecondsMax = 0;
+      /// Profiling sample countdown, persisted across this worker's chunks
+      /// so the sampling stream stays one jittered sequence per worker per
+      /// invocation (a per-chunk reset would always sample each chunk's
+      /// first access, biasing the stream).
+      uint32_t ProfSkip = 1;
     };
     std::vector<WorkerState> Workers(T);
 
@@ -946,7 +997,7 @@ private:
         Snapshot.emplace_back(S, Mem.buffer(S));
     FaultSlot Faults;
 
-    ChunkDispenser Disp(Lo, Up, T, Opts.Sched, Opts.ChunkSize);
+    ChunkDispenser Disp(Lo, Up, T, Sch, ChunkSize, Align);
 
     // Runs one dispensed chunk on worker W; returns its seconds (including
     // the first chunk's private-copy construction — it parallelizes too).
@@ -958,6 +1009,7 @@ private:
       double ProfStartUs = Rec ? Rec->nowUs() : 0.0;
       Timer CT;
       WorkerState &WS = Workers[W];
+      int64_t MaxIter = WS.Ran ? WS.LastIter : INT64_MIN;
       if (!WS.Ran) {
         BuildPrivates(W);
         WS.Ran = true;
@@ -967,23 +1019,32 @@ private:
       FW.InParallel = true;
       FW.CurLoop = DS;
       FW.Worker = W;
-      for (int64_t I = First; I <= Last; ++I) {
+      FW.ProfSkip = WS.ProfSkip;
+      // Under a locality reorder the dispenser hands out *positions*; the
+      // permutation maps each to the original iteration it executes. The
+      // permutation pins original Up to the last position, so the worker
+      // holding the final chunk runs Up temporally last — last-value
+      // semantics survive (see interp::buildIterationReorder).
+      for (int64_t Pos = First; Pos <= Last; ++Pos) {
+        int64_t I = Order ? (*Order)[size_t(Pos - Lo)] : Pos;
         FW.CurIter = I;
         checkInjection(DS, I, FW);
         setScalar(DS->indexVar(), I, FW);
         execBody(DS->body(), FW);
+        MaxIter = std::max(MaxIter, I);
       }
+      WS.ProfSkip = FW.ProfSkip;
       double Secs = CT.seconds();
       if (Rec)
         Rec->noteChunk(W, ChunkId, First, Last, ProfStartUs, Secs * 1e6);
-      WS.LastIter = std::max(WS.LastIter, Last);
+      WS.LastIter = MaxIter;
       ++WS.Chunks;
       WS.SecondsSum += Secs;
       WS.SecondsMax = std::max(WS.SecondsMax, Secs);
       if (ChunkSpan.active()) {
         ChunkSpan.arg("worker", std::to_string(W));
         ChunkSpan.arg("chunk", std::to_string(ChunkId));
-        ChunkSpan.arg("schedule", scheduleName(Opts.Sched));
+        ChunkSpan.arg("schedule", scheduleName(Sch));
         ChunkSpan.arg("first", std::to_string(First));
         ChunkSpan.arg("last", std::to_string(Last));
       }
@@ -1354,6 +1415,93 @@ private:
     return E.Pass;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Locality-aware scheduling (ExecOptions::Locality)
+  //===--------------------------------------------------------------------===//
+
+  /// The footprint model's schedule pick for \p DS, memoized per loop and
+  /// revalidated when the trip count or worker count changes (the scored
+  /// body is static, so those are the only inputs that can move the pick).
+  const sched::SchedulePick &modelPickFor(const DoStmt *DS, int64_t NIter,
+                                          unsigned T) {
+    auto [It, Inserted] = ModelCache.try_emplace(DS);
+    ModelEntry &E = It->second;
+    if (Inserted || E.NIter != NIter || E.Threads != T) {
+      if (!Model)
+        Model.emplace(Prog);
+      const xform::LoopPlan *Plan = nullptr;
+      if (Opts.Plans) {
+        if (const xform::LoopPlan *P = Opts.Plans->planFor(DS))
+          Plan = P;
+        else if (const xform::LoopPlan *C = Opts.Plans->conditionalPlanFor(DS))
+          Plan = C;
+      }
+      E.Pick = Model->pick(Model->score(DS, Plan), NIter, T);
+      E.NIter = NIter;
+      E.Threads = T;
+    }
+    return E.Pick;
+  }
+
+  /// The locality permutation for an inspected conditional loop, cached
+  /// under the same keys as the inspection verdict — the bounds plus the
+  /// version counters of *every* checked Index and Length array, not just
+  /// the permutation's own source array. A CRS loop's segment-length array
+  /// can change the target layout while the offset array it permutes by is
+  /// untouched; keying on the full check set forces the rebuild. (A stale
+  /// permutation would still be *safe* — any bijection of a proven
+  /// iteration-disjoint space with Up pinned last is correct — but it
+  /// would silently stop matching the data it was built for.)
+  std::shared_ptr<const std::vector<int64_t>>
+  reorderPlanFor(const DoStmt *DS, const xform::LoopPlan &Plan, int64_t Lo,
+                 int64_t Up) {
+    // Permute by the plan's recorded gather source when present, else the
+    // first check with an index array.
+    const deptest::RuntimeCheck *Check = nullptr;
+    for (const auto &C : Plan.RuntimeChecks) {
+      if (!C.Index)
+        continue;
+      if (!Check)
+        Check = &C;
+      if (Plan.LocalityIndexArray && C.Index == Plan.LocalityIndexArray) {
+        Check = &C;
+        break;
+      }
+    }
+    if (!Check)
+      return nullptr;
+
+    std::vector<std::pair<unsigned, uint64_t>> Versions;
+    for (const auto &C : Plan.RuntimeChecks)
+      for (const Symbol *S : {C.Index, C.Length})
+        if (S)
+          Versions.emplace_back(S->id(), Mem.buffer(S).Version);
+    std::sort(Versions.begin(), Versions.end());
+    Versions.erase(std::unique(Versions.begin(), Versions.end()),
+                   Versions.end());
+
+    auto [It, Inserted] = ReorderCache.try_emplace(DS);
+    ReorderEntry &E = It->second;
+    if (!Inserted && E.Lo == Lo && E.Up == Up && E.Versions == Versions) {
+      ++interp_locality_reorders_cached;
+      if (Stats)
+        ++Stats->LocalityReordersCached;
+      return E.Order;
+    }
+
+    ReorderOutcome O =
+        buildIterationReorder(*Check, Mem, Lo, Up, sched::DefaultLineElems);
+    E.Lo = Lo;
+    E.Up = Up;
+    E.Versions = std::move(Versions);
+    E.Order = O.Order;
+    E.LinesTouched = O.LinesTouched;
+    ++interp_locality_reorders;
+    if (Stats)
+      ++Stats->LocalityReorders;
+    return E.Order;
+  }
+
 public:
   /// Seconds of serialized surplus from simulated parallel loops; the
   /// virtual run time is wall time minus this.
@@ -1379,6 +1527,26 @@ private:
     std::string Detail;
   };
   std::map<const DoStmt *, InspectionEntry> InspectionCache;
+
+  /// Memoized footprint-model pick for one loop.
+  struct ModelEntry {
+    int64_t NIter = -1;
+    unsigned Threads = 0;
+    sched::SchedulePick Pick;
+  };
+  std::map<const DoStmt *, ModelEntry> ModelCache;
+  std::optional<sched::GatherFootprintModel> Model;
+
+  /// Cached locality permutation for one conditional loop, valid while the
+  /// bounds and every checked array's version are unchanged.
+  struct ReorderEntry {
+    int64_t Lo = 0, Up = 0;
+    std::vector<std::pair<unsigned, uint64_t>> Versions;
+    std::shared_ptr<const std::vector<int64_t>> Order;
+    uint64_t LinesTouched = 0;
+  };
+  std::map<const DoStmt *, ReorderEntry> ReorderCache;
+
   /// Memoized per-loop write sets for post-join version bumps.
   std::map<const DoStmt *, std::vector<const Symbol *>> LoopWriteSets;
   std::optional<analysis::SymbolUses> UsesForVersions;

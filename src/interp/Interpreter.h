@@ -28,6 +28,7 @@
 #include "interp/Fault.h"
 #include "interp/ThreadPool.h"
 #include "mf/Program.h"
+#include "sched/FootprintModel.h"
 #include "support/Remarks.h"
 #include "xform/Parallelizer.h"
 
@@ -158,6 +159,14 @@ struct ExecOptions {
   /// Test-only fault-injection hook (see FaultInjectionHook); null in
   /// production runs.
   const FaultInjectionHook *Injector = nullptr;
+  /// Locality-aware scheduling (sched/FootprintModel.h). Model lets the
+  /// static GatherFootprintModel override Sched/ChunkSize (and align chunk
+  /// boundaries to cache lines) per parallel loop; Reorder additionally
+  /// executes runtime-conditional loops that passed inspection in the
+  /// inspector's line-bucketed iteration order (permutations are cached
+  /// under the same Buffer::Version keys as inspection verdicts). Results
+  /// are bit-identical across all modes.
+  sched::LocalityMode Locality = sched::LocalityMode::Off;
   /// Memory-access profiling session (prof/Profiler.h); null disables all
   /// profiling hooks. The interpreter records, per labeled-loop
   /// invocation, sampled cache-line access streams, per-worker chunk
@@ -240,6 +249,12 @@ struct ExecStats {
     std::string str() const;
   };
   std::vector<RuntimeDecision> RuntimeDecisions;
+
+  /// Locality-aware scheduling (ExecOptions::Locality).
+  unsigned LocalityModelPicks = 0; ///< Parallel dispatches scheduled by the
+                                   ///< footprint model.
+  unsigned LocalityReorders = 0;   ///< Fresh iteration permutations built.
+  unsigned LocalityReordersCached = 0; ///< Permutations reused from cache.
 
   /// Fault containment (ExecOptions::OnFault).
   unsigned WorkerFaults = 0;   ///< Faults trapped inside parallel workers.

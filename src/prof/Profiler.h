@@ -164,6 +164,11 @@ struct WorkerTimeline {
   double DispatchUs = 0; ///< Loop entry to this worker's first chunk start.
   double BusyUs = 0;     ///< Sum of chunk execution times.
   double StallUs = 0;    ///< Loop wall minus dispatch minus busy (>= 0).
+  /// Distinct cache lines this worker's sampled accesses touched, summed
+  /// over arrays (exact at sample period 1). The union across workers is
+  /// schedule-invariant, but this per-worker count is not: a schedule that
+  /// keeps index-adjacent iterations on one worker shrinks it.
+  uint64_t FootprintLines = 0;
   int64_t FirstIter = 0, LastIter = 0;
   std::vector<ChunkEvent> Events; ///< Capped; EventsDropped counts the rest.
   unsigned EventsDropped = 0;
@@ -178,6 +183,12 @@ struct LoopProfile {
   int64_t Lo = 0, Up = 0, NIter = 0;
   unsigned Threads = 1;
   std::string Schedule;
+  std::string Locality; ///< Locality mode in force ("off"/"model"/"reorder").
+  /// Sum over workers of per-worker distinct sampled cache lines. Unlike
+  /// the per-array footprint (a union, schedule-invariant), this sum drops
+  /// when the schedule keeps line-sharing iterations on the same worker —
+  /// the measured quantity the locality scheduler tries to minimize.
+  uint64_t WorkerLinesSum = 0;
   double WallUs = 0;
   double InspectUs = 0;  ///< Inspector scans charged to this invocation.
   double RollbackUs = 0; ///< Fault-containment snapshot restore.
@@ -203,6 +214,7 @@ struct LoopHealth {
   double AnalysisPct = 0;     ///< Analysis tax share of loop wall time.
   double WallUs = 0;          ///< Total wall microseconds across invocations.
   uint64_t FootprintLines = 0; ///< Max per-invocation total footprint.
+  uint64_t WorkerLines = 0;    ///< Max per-invocation worker-lines sum.
   uint64_t SampledAccesses = 0;
 
   std::string str() const;
@@ -310,6 +322,7 @@ public:
   std::string Detail;
   unsigned Threads = 1;
   std::string Schedule;
+  std::string Locality;
   double InspectUs = 0;
   double RollbackUs = 0;
   double ReplayUs = 0;
@@ -437,6 +450,7 @@ private:
     double AvgBusySumUs = 0; ///< Sum over invocations of mean worker busy.
     ReuseHistogram Hist;
     uint64_t FootprintLines = 0;
+    uint64_t WorkerLines = 0;
     bool SawParallel = false, SawCondPass = false, SawCondFail = false,
          SawSerialSmall = false;
     std::string Detail;

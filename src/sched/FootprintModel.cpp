@@ -1,0 +1,407 @@
+//===- sched/FootprintModel.cpp - Locality-aware loop scheduling ----------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/FootprintModel.h"
+
+#include "mf/Stmt.h"
+#include "support/Statistic.h"
+#include "symbolic/SymExpr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+using namespace iaa;
+using namespace iaa::sched;
+
+#define IAA_STAT_GROUP "sched"
+IAA_STAT(sched_loops_scored, "loops scored by the footprint model");
+IAA_STAT(sched_gather_loops, "scored loops classified as gathers");
+
+//===----------------------------------------------------------------------===//
+// Names
+//===----------------------------------------------------------------------===//
+
+const char *sched::localityModeName(LocalityMode M) {
+  switch (M) {
+  case LocalityMode::Off:
+    return "off";
+  case LocalityMode::Model:
+    return "model";
+  case LocalityMode::Reorder:
+    return "reorder";
+  }
+  return "off";
+}
+
+bool sched::parseLocalityMode(const std::string &Name, LocalityMode &Out) {
+  if (Name == "off")
+    Out = LocalityMode::Off;
+  else if (Name == "model")
+    Out = LocalityMode::Model;
+  else if (Name == "reorder")
+    Out = LocalityMode::Reorder;
+  else
+    return false;
+  return true;
+}
+
+const char *sched::accessPatternName(AccessPattern P) {
+  switch (P) {
+  case AccessPattern::Invariant:
+    return "invariant";
+  case AccessPattern::Contiguous:
+    return "contiguous";
+  case AccessPattern::Strided:
+    return "strided";
+  case AccessPattern::Gather:
+    return "gather";
+  }
+  return "invariant";
+}
+
+//===----------------------------------------------------------------------===//
+// ArrayFootprint / FootprintScore
+//===----------------------------------------------------------------------===//
+
+double ArrayFootprint::linesPerIter(unsigned LineElems) const {
+  const double Elems = LineElems ? double(LineElems) : 1.0;
+  switch (Pattern) {
+  case AccessPattern::Invariant:
+    return 0.0;
+  case AccessPattern::Contiguous:
+    return 1.0 / Elems;
+  case AccessPattern::Strided:
+    return std::min(1.0, double(Stride) / Elems);
+  case AccessPattern::Gather:
+    return 1.0;
+  }
+  return 0.0;
+}
+
+uint64_t ArrayFootprint::predictLines(int64_t NIter, unsigned LineElems) const {
+  if (NIter <= 0 || Accesses == 0)
+    return 0;
+  const double Lines = linesPerIter(LineElems) * double(NIter);
+  return std::max<uint64_t>(1, uint64_t(std::ceil(Lines)));
+}
+
+uint64_t FootprintScore::predictLines(int64_t NIter) const {
+  if (NIter <= 0)
+    return 0;
+  return std::max<uint64_t>(1, uint64_t(std::ceil(LinesPerIter *
+                                                  double(NIter))));
+}
+
+std::string FootprintScore::str() const {
+  std::ostringstream OS;
+  OS << "footprint: " << LinesPerIter << " lines/iter, reuse density "
+     << ReuseDensity;
+  if (HasGather) {
+    OS << ", gather";
+    if (GatherIndex)
+      OS << " via " << GatherIndex->name();
+  }
+  for (const ArrayFootprint &A : Arrays) {
+    OS << "\n  " << (A.Array ? A.Array->name() : "?") << ": "
+       << accessPatternName(A.Pattern);
+    if (A.Pattern == AccessPattern::Strided)
+      OS << " stride " << A.Stride;
+    if (A.IndexArray)
+      OS << " via " << A.IndexArray->name();
+    OS << ", " << A.Accesses << (A.Accesses == 1 ? " site" : " sites")
+       << (A.Written ? ", written" : "");
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Body classification
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mutable per-array accumulator keyed by symbol during the body walk.
+struct ArrayAcc {
+  ArrayFootprint FP;
+  unsigned FirstSeen = 0; ///< Visit order, for deterministic output.
+};
+
+/// Walks a loop body collecting every ArrayRef and classifying its
+/// subscripts against the scheduled loop's index variable.
+class BodyScanner {
+public:
+  BodyScanner(const mf::Symbol *IndexVar, unsigned LineElems)
+      : IndexVar(IndexVar), LineElems(LineElems) {}
+
+  void scanStmts(const mf::StmtList &Body) {
+    for (const mf::Stmt *S : Body)
+      scanStmt(S);
+  }
+
+  std::vector<ArrayFootprint> take() {
+    std::vector<const ArrayAcc *> Order;
+    Order.reserve(Arrays.size());
+    for (const auto &KV : Arrays)
+      Order.push_back(&KV.second);
+    std::sort(Order.begin(), Order.end(),
+              [](const ArrayAcc *A, const ArrayAcc *B) {
+                return A->FirstSeen < B->FirstSeen;
+              });
+    std::vector<ArrayFootprint> Out;
+    Out.reserve(Order.size());
+    for (const ArrayAcc *A : Order)
+      Out.push_back(A->FP);
+    return Out;
+  }
+
+private:
+  void scanStmt(const mf::Stmt *S) {
+    switch (S->kind()) {
+    case mf::StmtKind::Assign: {
+      const auto *A = cast<mf::AssignStmt>(S);
+      if (const mf::ArrayRef *Target = A->arrayTarget())
+        noteRef(Target, /*IsWrite=*/true);
+      scanExpr(A->rhs());
+      break;
+    }
+    case mf::StmtKind::If: {
+      const auto *I = cast<mf::IfStmt>(S);
+      scanExpr(I->condition());
+      scanStmts(I->thenBody());
+      scanStmts(I->elseBody());
+      break;
+    }
+    case mf::StmtKind::Do: {
+      const auto *D = cast<mf::DoStmt>(S);
+      scanExpr(D->lower());
+      scanExpr(D->upper());
+      if (D->step())
+        scanExpr(D->step());
+      scanStmts(D->body());
+      break;
+    }
+    case mf::StmtKind::While: {
+      const auto *W = cast<mf::WhileStmt>(S);
+      scanExpr(W->condition());
+      scanStmts(W->body());
+      break;
+    }
+    case mf::StmtKind::Call: {
+      const auto *C = cast<mf::CallStmt>(S);
+      if (C->callee() && SeenCallees.insert(C->callee()).second)
+        scanStmts(C->callee()->body());
+      break;
+    }
+    }
+  }
+
+  void scanExpr(const mf::Expr *E) {
+    switch (E->kind()) {
+    case mf::ExprKind::IntLit:
+    case mf::ExprKind::RealLit:
+    case mf::ExprKind::VarRef:
+      break;
+    case mf::ExprKind::ArrayRef:
+      noteRef(cast<mf::ArrayRef>(E), /*IsWrite=*/false);
+      break;
+    case mf::ExprKind::Unary:
+      scanExpr(cast<mf::UnaryExpr>(E)->operand());
+      break;
+    case mf::ExprKind::Binary: {
+      const auto *B = cast<mf::BinaryExpr>(E);
+      scanExpr(B->lhs());
+      scanExpr(B->rhs());
+      break;
+    }
+    }
+  }
+
+  void noteRef(const mf::ArrayRef *AR, bool IsWrite) {
+    // Classify the reference, then keep scanning the subscripts: an index
+    // array read inside a gather subscript is itself an access.
+    classify(AR, IsWrite);
+    for (const mf::Expr *Sub : AR->subscripts())
+      scanExpr(Sub);
+  }
+
+  void classify(const mf::ArrayRef *AR, bool IsWrite) {
+    AccessPattern Pattern = AccessPattern::Invariant;
+    int64_t Stride = 0;
+    const mf::Symbol *Via = nullptr;
+    const unsigned Rank = AR->rank();
+    for (unsigned D = 0; D < Rank; ++D) {
+      sym::SymExpr SE = sym::SymExpr::fromAst(AR->subscript(D));
+      if (!SE.references(IndexVar))
+        continue;
+      // Affine iff the only term mentioning the index is its own Var atom.
+      bool Affine = true;
+      for (const auto &Term : SE.terms()) {
+        const sym::AtomRef &A = Term.second.first;
+        if (A->kind() == sym::AtomKind::Var && A->symbol() == IndexVar)
+          continue;
+        if (A->references(IndexVar)) {
+          Affine = false;
+          break;
+        }
+      }
+      if (!Affine) {
+        Pattern = AccessPattern::Gather;
+        if (!Via)
+          Via = findIndexArray(AR->subscript(D));
+        continue;
+      }
+      const int64_t C = std::abs(SE.coeffOfVar(IndexVar));
+      AccessPattern DimPattern;
+      int64_t DimStride;
+      if (D + 1 == Rank) {
+        // Innermost dimension: the coefficient is the element stride.
+        DimPattern = C == 1 ? AccessPattern::Contiguous
+                            : AccessPattern::Strided;
+        DimStride = C;
+      } else {
+        // The index walks a non-innermost dimension: consecutive
+        // iterations are a whole row apart, so charge a full line.
+        DimPattern = AccessPattern::Strided;
+        DimStride = LineElems;
+      }
+      if (DimPattern > Pattern) {
+        Pattern = DimPattern;
+        Stride = DimStride;
+      } else if (DimPattern == Pattern) {
+        Stride = std::max(Stride, DimStride);
+      }
+    }
+
+    auto It = Arrays.try_emplace(AR->array()).first;
+    ArrayAcc &Acc = It->second;
+    if (!Acc.FP.Array) {
+      Acc.FP.Array = AR->array();
+      Acc.FirstSeen = unsigned(Arrays.size());
+    }
+    ++Acc.FP.Accesses;
+    Acc.FP.Written |= IsWrite;
+    if (Pattern > Acc.FP.Pattern) {
+      Acc.FP.Pattern = Pattern;
+      Acc.FP.Stride = Stride;
+    } else if (Pattern == Acc.FP.Pattern) {
+      Acc.FP.Stride = std::max(Acc.FP.Stride, Stride);
+    }
+    if (Via && !Acc.FP.IndexArray)
+      Acc.FP.IndexArray = Via;
+  }
+
+  /// First array read inside \p E whose subscript mentions the loop index:
+  /// the gather's index array.
+  const mf::Symbol *findIndexArray(const mf::Expr *E) const {
+    switch (E->kind()) {
+    case mf::ExprKind::IntLit:
+    case mf::ExprKind::RealLit:
+    case mf::ExprKind::VarRef:
+      return nullptr;
+    case mf::ExprKind::ArrayRef: {
+      const auto *AR = cast<mf::ArrayRef>(E);
+      for (const mf::Expr *Sub : AR->subscripts())
+        if (sym::SymExpr::fromAst(Sub).references(IndexVar))
+          return AR->array();
+      for (const mf::Expr *Sub : AR->subscripts())
+        if (const mf::Symbol *Found = findIndexArray(Sub))
+          return Found;
+      return nullptr;
+    }
+    case mf::ExprKind::Unary:
+      return findIndexArray(cast<mf::UnaryExpr>(E)->operand());
+    case mf::ExprKind::Binary: {
+      const auto *B = cast<mf::BinaryExpr>(E);
+      if (const mf::Symbol *Found = findIndexArray(B->lhs()))
+        return Found;
+      return findIndexArray(B->rhs());
+    }
+    }
+    return nullptr;
+  }
+
+  const mf::Symbol *IndexVar;
+  unsigned LineElems;
+  std::map<const mf::Symbol *, ArrayAcc> Arrays;
+  std::set<const mf::Procedure *> SeenCallees;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// GatherFootprintModel
+//===----------------------------------------------------------------------===//
+
+GatherFootprintModel::GatherFootprintModel(const mf::Program &P,
+                                           unsigned LineElems)
+    : Prog(P), LineElems(std::max(1u, LineElems)) {}
+
+FootprintScore GatherFootprintModel::score(const mf::DoStmt *L,
+                                           const xform::LoopPlan *Plan) const {
+  (void)Prog;
+  ++sched_loops_scored;
+  BodyScanner Scanner(L->indexVar(), LineElems);
+  Scanner.scanStmts(L->body());
+
+  FootprintScore S;
+  S.Arrays = Scanner.take();
+  double TotalAccesses = 0;
+  for (const ArrayFootprint &A : S.Arrays) {
+    S.LinesPerIter += A.linesPerIter(LineElems);
+    TotalAccesses += A.Accesses;
+    if (A.Pattern == AccessPattern::Gather) {
+      S.HasGather = true;
+      if (!S.GatherIndex)
+        S.GatherIndex = A.IndexArray;
+    }
+  }
+  // The parallelizer's recorded gather fact wins: a runtime-checked index
+  // array marks the loop as a gather even when the body classification
+  // alone (e.g. after forward substitution) would not.
+  if (Plan && Plan->LocalityIndexArray) {
+    S.HasGather = true;
+    S.GatherIndex = Plan->LocalityIndexArray;
+  }
+  S.ReuseDensity = TotalAccesses / std::max(S.LinesPerIter, 1e-9);
+  if (S.HasGather)
+    ++sched_gather_loops;
+  return S;
+}
+
+SchedulePick GatherFootprintModel::pick(const FootprintScore &S, int64_t NIter,
+                                        unsigned Threads) const {
+  SchedulePick P;
+  P.Align = LineElems;
+  if (S.HasGather) {
+    // Index-adjacent iterations read adjacent slots of the index array and
+    // (after the inspector's reorder pass) hit adjacent target lines: give
+    // each worker one big contiguous block so that adjacency stays within
+    // a single cache hierarchy.
+    P.Sched = interp::Schedule::Static;
+    P.ChunkSize = 0;
+    P.Rationale = "gather: contiguous per-worker blocks keep index-adjacent "
+                  "iterations on one worker";
+  } else if (S.ReuseDensity <= 2.0) {
+    // Streaming loops touch each line only once or twice; balance tails
+    // dynamically but never hand out less than a cache line of work.
+    P.Sched = interp::Schedule::Guided;
+    P.ChunkSize = LineElems;
+    P.Rationale = "streaming: guided with a line-aligned floor balances "
+                  "tails without splitting lines";
+  } else {
+    P.Sched = interp::Schedule::Static;
+    P.ChunkSize = 0;
+    P.Rationale = "line reuse: static line-aligned blocks preserve spatial "
+                  "reuse";
+  }
+  // Tiny loops: alignment rounding would idle workers for no gain.
+  if (NIter > 0 && NIter <= int64_t(Threads))
+    P.Align = 1;
+  return P;
+}

@@ -1,0 +1,173 @@
+//===- sched/FootprintModel.h - Locality-aware loop scheduling --*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static half of locality-aware scheduling (ROADMAP item 4): a
+/// GatherFootprintModel that scores each parallel loop's memory-access
+/// pattern — stride per array, reuse density, predicted cache-line
+/// footprint per iteration — from the normalized AST and the plan's
+/// recorded gather facts, and picks a schedule policy, chunk size, and
+/// chunk alignment so index-adjacent iterations land on one worker.
+///
+/// The model is the feedback edge the profiler (src/prof) was built to
+/// close: its per-iteration line predictions are validated against the
+/// profiler's measured footprints in the tests, and the interpreter
+/// consults it when `ExecOptions::Locality` is Model or Reorder. The
+/// dynamic half — the inspector's iteration-reorder pass that buckets a
+/// runtime-checked gather's iterations by target cache line — lives in
+/// interp/Inspector.h; this header also defines the `LocalityMode` knob
+/// shared by both halves (`mfpar --locality=off|model|reorder`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SCHED_FOOTPRINTMODEL_H
+#define IAA_SCHED_FOOTPRINTMODEL_H
+
+#include "interp/ThreadPool.h"
+#include "mf/Program.h"
+#include "xform/Parallelizer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace sched {
+
+//===----------------------------------------------------------------------===//
+// LocalityMode
+//===----------------------------------------------------------------------===//
+
+/// How much locality machinery the runtime applies to parallel loops.
+enum class LocalityMode {
+  Off,     ///< Schedule exactly as ExecOptions::Sched/ChunkSize say.
+  Model,   ///< The footprint model overrides schedule, chunk, and alignment.
+  Reorder, ///< Model, plus the inspector's iteration-reorder pass for
+           ///< runtime-checked gathers (classic inspector/executor
+           ///< aggregation: iterations bucketed by target cache line).
+};
+
+const char *localityModeName(LocalityMode M);
+
+/// Parses "off" / "model" / "reorder"; false on anything else.
+bool parseLocalityMode(const std::string &Name, LocalityMode &Out);
+
+/// Elements per cache line the model assumes: 64-byte lines over the
+/// interpreter's 8-byte (int64/double) elements. Matches the profiler's
+/// default SessionOptions::LineBytes, so predictions and measurements are
+/// in the same unit.
+constexpr unsigned DefaultLineElems = 8;
+
+//===----------------------------------------------------------------------===//
+// Access classification
+//===----------------------------------------------------------------------===//
+
+/// How one array's subscripts move with the scheduled loop's index.
+enum class AccessPattern {
+  Invariant,  ///< Subscript does not mention the loop index.
+  Contiguous, ///< Affine in the index with |coefficient| 1.
+  Strided,    ///< Affine in the index with |coefficient| > 1, or the index
+              ///< drives a non-innermost dimension (whole-row stride).
+  Gather,     ///< The index reaches the subscript through an index array or
+              ///< another non-affine form (mod, div, ...).
+};
+
+const char *accessPatternName(AccessPattern P);
+
+/// The model's summary of one array's accesses inside one loop iteration.
+struct ArrayFootprint {
+  const mf::Symbol *Array = nullptr;
+  AccessPattern Pattern = AccessPattern::Invariant;
+  /// |coefficient of the loop index| for affine accesses; 0 otherwise.
+  int64_t Stride = 0;
+  /// The index array a Gather subscript reads (null for non-array gathers
+  /// such as mod(i, n)).
+  const mf::Symbol *IndexArray = nullptr;
+  /// Distinct textual access sites in the body.
+  unsigned Accesses = 0;
+  bool Written = false;
+
+  /// Expected *new* cache lines this array contributes per iteration:
+  /// contiguous streams share a line across LineElems iterations, strided
+  /// accesses touch one line every LineElems/Stride iterations, and a
+  /// gather is charged a full line per iteration (the model's worst case —
+  /// the measured footprint can only be smaller).
+  double linesPerIter(unsigned LineElems) const;
+
+  /// Predicted distinct-line footprint over \p NIter iterations (an upper
+  /// bound; tests check measured <= predicted <= measured * O(LineElems)).
+  uint64_t predictLines(int64_t NIter, unsigned LineElems) const;
+};
+
+/// The whole-loop score the schedule pick is made from.
+struct FootprintScore {
+  std::vector<ArrayFootprint> Arrays;
+  /// Sum of the arrays' per-iteration line contributions.
+  double LinesPerIter = 0;
+  /// Access sites per newly touched line: low density means a streaming
+  /// loop (every line used once), high density means line reuse worth
+  /// protecting with aligned contiguous chunks.
+  double ReuseDensity = 0;
+  bool HasGather = false;
+  /// The gather index array (the plan's recorded one when available).
+  const mf::Symbol *GatherIndex = nullptr;
+
+  /// Predicted distinct-line footprint of the whole loop.
+  uint64_t predictLines(int64_t NIter) const;
+
+  std::string str() const;
+};
+
+/// The model's verdict: how the ChunkDispenser should run this loop.
+struct SchedulePick {
+  interp::Schedule Sched = interp::Schedule::Static;
+  /// Chunk size for the dispenser (0 = policy default).
+  int64_t ChunkSize = 0;
+  /// Chunk alignment in iterations: chunk boundaries are rounded up to
+  /// multiples of this, so workers never split the iterations that share
+  /// one cache line of a contiguous array.
+  int64_t Align = 1;
+  std::string Rationale;
+};
+
+//===----------------------------------------------------------------------===//
+// GatherFootprintModel
+//===----------------------------------------------------------------------===//
+
+/// Scores loops and picks schedules. Stateless; score() walks the loop
+/// body once, so callers memoize per loop (the interpreter does).
+class GatherFootprintModel {
+public:
+  explicit GatherFootprintModel(const mf::Program &P,
+                                unsigned LineElems = DefaultLineElems);
+
+  /// Classifies every array access of \p L's body against its index
+  /// variable. \p Plan (optional) contributes the parallelizer's recorded
+  /// gather index array (LoopPlan::LocalityIndexArray), which marks the
+  /// loop as a gather even when the body classification alone would not.
+  FootprintScore score(const mf::DoStmt *L,
+                       const xform::LoopPlan *Plan = nullptr) const;
+
+  /// Picks schedule policy, chunk size, and alignment for a loop scoring
+  /// \p S over \p NIter iterations on \p Threads workers. Gathers get
+  /// static contiguous blocks (index-adjacent iterations on one worker);
+  /// streaming loops get guided dispatch with a line-aligned floor;
+  /// reuse-heavy loops get static line-aligned blocks.
+  SchedulePick pick(const FootprintScore &S, int64_t NIter,
+                    unsigned Threads) const;
+
+  unsigned lineElems() const { return LineElems; }
+
+private:
+  const mf::Program &Prog;
+  unsigned LineElems;
+};
+
+} // namespace sched
+} // namespace iaa
+
+#endif // IAA_SCHED_FOOTPRINTMODEL_H

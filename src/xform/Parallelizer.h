@@ -67,6 +67,13 @@ struct LoopPlan {
   /// fallback.
   std::vector<deptest::RuntimeCheck> RuntimeChecks;
   bool RuntimeConditional = false;
+  /// The index array driving the loop's irregular accesses (an injective
+  /// gather/scatter check's index when one exists, else the first checked
+  /// index array). The locality scheduler treats it as the gather source:
+  /// the footprint model scores the loop as a gather, and the inspector's
+  /// reorder pass buckets iterations by the cache line its entries target.
+  /// Null when the loop has no runtime-checked index array.
+  const mf::Symbol *LocalityIndexArray = nullptr;
   /// Every symbol the loop body MAY write (transitively through calls),
   /// including the index variable — the loop's conservative write
   /// footprint. The fault-containment runtime snapshots exactly this set

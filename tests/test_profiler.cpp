@@ -25,6 +25,7 @@
 #include "support/Json.h"
 #include "xform/Parallelizer.h"
 
+#include <regex>
 #include <set>
 #include <string>
 
@@ -421,10 +422,146 @@ TEST(ProfilerExport, MissingHardwareCountersDegradeToNull) {
     }
   } else {
     // Counters opened: the deltas must be populated and sane.
-    for (const prof::LoopProfile &LP : H.S.invocations())
-      if (LP.Perf.Valid)
+    for (const prof::LoopProfile &LP : H.S.invocations()) {
+      if (LP.Perf.Valid) {
         EXPECT_GT(LP.Perf.Cycles, 0u);
+      }
+    }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling determinism (per-worker xorshift reseeding)
+//===----------------------------------------------------------------------===//
+
+/// Strips wall-clock noise from a profiler JSONL dump: every timing value
+/// (any key ending in _us, plus the timing-derived health percentages),
+/// the global chunk-dispatch sequence number (which races across workers
+/// even under a static schedule), and the perf object are zeroed, so two
+/// runs of the same program compare byte-identical iff the *sampling
+/// decisions* were identical.
+std::string normalizedJsonl(prof::Session &S,
+                            const xform::PipelineResult *Plans) {
+  std::string Out = S.jsonl(Plans);
+  Out = std::regex_replace(
+      Out,
+      std::regex("\"([a-z_]*_us|seconds|imbalance_pct|analysis_pct|chunk)\": "
+                 "[-+0-9.eE]+"),
+      "\"$1\": 0");
+  Out = std::regex_replace(
+      Out, std::regex("\"perf\": (null|\\{[^}]*\\})"), "\"perf\": null");
+  return Out;
+}
+
+const char *DeterminismKernel = R"(program t
+    integer i, n
+    integer ind(2048)
+    real x(2048), y(2048)
+    n = 2048
+    init: do i = 1, n
+      ind(i) = mod(i * 11, n) + 1
+      x(i) = i * 0.5
+      y(i) = mod(i, 5) * 0.25
+    end do
+    scat: do i = 1, n
+      x(ind(i)) = x(ind(i)) + y(i)
+    end do
+  end)";
+
+TEST(ProfilerDeterminism, TwoRunsProduceByteIdenticalNormalizedJsonl) {
+  // The per-worker RNG is reseeded from the worker id at every loop entry,
+  // so two fresh sessions over the same program must make exactly the same
+  // sampling decisions — in exact mode (period 1) and jittered mode
+  // (period 16) alike. Static schedule keeps chunk->worker assignment
+  // deterministic; timings are normalized away.
+  for (uint64_t Period : {uint64_t(1), uint64_t(16)}) {
+    prof::SessionOptions O;
+    O.SamplePeriod = Period;
+    O.MaxSamplesPerArray = 1 << 20;
+    O.HardwareCounters = false;
+    std::string Dump[2];
+    for (int Run = 0; Run < 2; ++Run) {
+      Profiled H(DeterminismKernel, O);
+      H.runParallel(4, /*RuntimeChecks=*/true);
+      Dump[Run] = normalizedJsonl(H.S, &H.Plan);
+    }
+    EXPECT_FALSE(Dump[0].empty());
+    EXPECT_EQ(Dump[0], Dump[1])
+        << "period " << Period
+        << ": sampling decisions must be reproducible run-to-run";
+  }
+}
+
+TEST(ProfilerDeterminism, RepeatedInvocationsSampleIdentically) {
+  // Regression for RNG state leaking across invocations: the inner loop
+  // runs three times over identical data, so every invocation must admit
+  // exactly the same samples (the per-worker RNG and skip distance are
+  // reset at loop entry, not carried over).
+  prof::SessionOptions O;
+  O.SamplePeriod = 4;
+  O.MaxSamplesPerArray = 1 << 20;
+  O.HardwareCounters = false;
+  Profiled H(R"(program t
+    integer i, j, n
+    real x(1024)
+    n = 1024
+    outer: do j = 1, 3
+      rep: do i = 1, n
+        x(i) = i * 1.5 + j
+      end do
+    end do
+  end)",
+             O);
+  H.runSerial();
+  std::vector<uint64_t> Sampled;
+  for (const prof::LoopProfile &LP : H.S.invocations()) {
+    if (LP.Label != "rep")
+      continue;
+    ASSERT_EQ(LP.Arrays.size(), 1u);
+    Sampled.push_back(LP.Arrays[0].Sampled);
+    EXPECT_GT(LP.Arrays[0].Sampled, 0u);
+  }
+  ASSERT_EQ(Sampled.size(), 3u);
+  EXPECT_EQ(Sampled[0], Sampled[1]);
+  EXPECT_EQ(Sampled[1], Sampled[2]);
+}
+
+TEST(ProfilerDeterminism, TinyChunksDoNotOversample) {
+  // Regression for the per-chunk skip reset: with dynamic chunk size 1
+  // every chunk is a single iteration, and a skip distance reset at each
+  // chunk boundary would degenerate to sampling (nearly) every access.
+  // The skip must persist across chunks so an expected 1-in-8 period
+  // stays an honest 1-in-8.
+  prof::SessionOptions O;
+  O.SamplePeriod = 8;
+  O.MaxSamplesPerArray = 1 << 20;
+  O.HardwareCounters = false;
+  Profiled H(R"(program t
+    integer i, n
+    real x(4096)
+    n = 4096
+    lp: do i = 1, n
+      x(i) = i * 2.0
+    end do
+  end)",
+             O);
+  Interpreter I(*H.P);
+  ExecOptions Opts;
+  Opts.Plans = &H.Plan;
+  Opts.Threads = 4;
+  Opts.MinParallelWork = 0;
+  Opts.Sched = Schedule::Dynamic;
+  Opts.ChunkSize = 1;
+  Opts.Prof = &H.S;
+  I.run(Opts);
+  H.S.finalizeAnalysis();
+  const prof::ArrayProfile *A = H.arrayProfile("lp", "x");
+  ASSERT_NE(A, nullptr);
+  EXPECT_GT(A->Sampled, 0u);
+  // 4096 accesses at period 8 expect ~512 samples; allow generous jitter
+  // but fail the old behavior (one sample per 1-iteration chunk ~= 4096).
+  EXPECT_LE(A->Sampled, 4096u / 2)
+      << "1-iteration chunks must not defeat the sampling period";
 }
 
 } // namespace

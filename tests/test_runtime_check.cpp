@@ -119,7 +119,8 @@ struct Harness {
 
   /// Runs with runtime checks enabled and returns the stats.
   ExecStats runChecked(Memory *OutMem = nullptr, unsigned Threads = 4,
-                       Schedule S = Schedule::Static) {
+                       Schedule S = Schedule::Static,
+                       sched::LocalityMode L = sched::LocalityMode::Off) {
     Interpreter I(*P);
     ExecOptions Opts;
     Opts.Plans = &Plan;
@@ -127,6 +128,7 @@ struct Harness {
     Opts.Sched = S;
     Opts.MinParallelWork = 0;
     Opts.RuntimeChecks = true;
+    Opts.Locality = L;
     ExecStats Stats;
     Memory M = I.run(Opts, &Stats);
     if (OutMem)
@@ -343,6 +345,99 @@ TEST(RuntimeCheckCache, WriteToIndexArrayInvalidates) {
   EXPECT_EQ(Stats.InspectionsCached, 0u);
   EXPECT_EQ(Stats.RuntimeCheckFails, 1u)
       << "the duplicated index must flip the verdict to serial";
+}
+
+TEST(RuntimeCheckCache, WriteToSegmentLengthArrayInvalidates) {
+  // Regression: the verdict (and reorder-permutation) cache key must cover
+  // *every* array the checks read — Length arrays included — not just the
+  // primary index array. Here the CRS offset array colptr never changes,
+  // but the segment-length array seglen is widened between the two
+  // invocations so that adjacent segments overlap. A cache keyed on colptr
+  // alone would serve the stale Pass verdict (and, under --locality=
+  // reorder, a stale permutation) and race; the second invocation must
+  // instead re-inspect, fail, and fall back to serial.
+  Harness R(R"(program t
+    integer i, j, k, n
+    integer colptr(101), colcnt(100), seglen(100)
+    real vals(900)
+    n = 100
+    colptr(1) = 1
+    build: do i = 1, n
+      colcnt(i) = mod(i * 5, 7) + 1
+      colptr(i + 1) = colptr(i) + colcnt(i)
+      seglen(i) = colcnt(i)
+    end do
+    fill: do i = 1, 900
+      vals(i) = mod(i, 13) * 0.125
+    end do
+    outer: do k = 1, 2
+      scale: do i = 1, n
+        do j = 1, seglen(i)
+          vals(colptr(i) + j - 1) = vals(colptr(i) + j - 1) * 1.5 + 0.25
+        end do
+      end do
+      if (k == 1) then
+        widen: do i = 1, n
+          seglen(i) = colcnt(i) + 1
+        end do
+      end if
+    end do
+  end)");
+  double Want = R.serialChecksum();
+
+  Memory M(*R.P);
+  ExecStats Stats =
+      R.runChecked(&M, 4, Schedule::Static, sched::LocalityMode::Reorder);
+  EXPECT_EQ(M.checksumExcluding(deadPrivateIds(R.Plan)), Want);
+  EXPECT_EQ(Stats.InspectionsRun, 2u)
+      << "widening seglen must force re-inspection even though the "
+         "checked offset array colptr is unchanged";
+  EXPECT_EQ(Stats.InspectionsCached, 0u)
+      << "a verdict cached on colptr alone would poison the second "
+         "invocation";
+  EXPECT_EQ(Stats.RuntimeCheckFails, 1u)
+      << "the widened segments overlap, so the re-inspection must fail";
+  EXPECT_EQ(Stats.LocalityReordersCached, 0u)
+      << "no stale permutation may be served after a source array changed";
+}
+
+TEST(RuntimeCheckCache, UntouchedSegmentLengthArrayStillHits) {
+  // Control for the poisoning regression above: with seglen untouched
+  // between invocations, the second one must reuse both the verdict and
+  // the reorder permutation (only vals — not a check source — changed).
+  Harness R(R"(program t
+    integer i, j, k, n
+    integer colptr(101), colcnt(100), seglen(100)
+    real vals(900)
+    n = 100
+    colptr(1) = 1
+    build: do i = 1, n
+      colcnt(i) = mod(i * 5, 7) + 1
+      colptr(i + 1) = colptr(i) + colcnt(i)
+      seglen(i) = colcnt(i)
+    end do
+    fill: do i = 1, 900
+      vals(i) = mod(i, 13) * 0.125
+    end do
+    outer: do k = 1, 2
+      scale: do i = 1, n
+        do j = 1, seglen(i)
+          vals(colptr(i) + j - 1) = vals(colptr(i) + j - 1) * 1.5 + 0.25
+        end do
+      end do
+    end do
+  end)");
+  double Want = R.serialChecksum();
+
+  Memory M(*R.P);
+  ExecStats Stats =
+      R.runChecked(&M, 4, Schedule::Static, sched::LocalityMode::Reorder);
+  EXPECT_EQ(M.checksumExcluding(deadPrivateIds(R.Plan)), Want);
+  EXPECT_EQ(Stats.InspectionsRun, 1u);
+  EXPECT_EQ(Stats.InspectionsCached, 1u);
+  EXPECT_EQ(Stats.RuntimeCheckFails, 0u);
+  EXPECT_EQ(Stats.LocalityReorders, 1u);
+  EXPECT_EQ(Stats.LocalityReordersCached, 1u);
 }
 
 //===----------------------------------------------------------------------===//

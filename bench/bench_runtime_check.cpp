@@ -56,17 +56,23 @@ benchprogs::BenchmarkProgram gatherScatter(int64_t N, int64_t Reps) {
 
 /// CCS-style segment scaling with recurrence-built column pointers,
 /// repeated \p Reps times. Segment lengths are mod(i*5, 7) + 1, so vals
-/// needs at most 7 elements per column.
+/// needs at most 7 elements per column. colcnt is written through an
+/// identity permutation so the recurrence solver cannot prove the build
+/// statically and the scale loop keeps its runtime inspection (the
+/// benchmark measures inspector overhead).
 benchprogs::BenchmarkProgram ccsScale(int64_t Cols, int64_t Reps) {
-  char Buf[1024];
+  char Buf[1280];
   std::snprintf(Buf, sizeof(Buf), R"(program ccs
     integer i, j, r, n
-    integer colptr(%lld), colcnt(%lld)
+    integer colptr(%lld), colcnt(%lld), perm(%lld)
     real vals(%lld)
     n = %lld
     colptr(1) = 1
+    mkperm: do i = 1, n
+      perm(i) = i
+    end do
     build: do i = 1, n
-      colcnt(i) = mod(i * 5, 7) + 1
+      colcnt(perm(i)) = mod(i * 5, 7) + 1
       colptr(i + 1) = colptr(i) + colcnt(i)
     end do
     fill: do i = 1, %lld
@@ -80,8 +86,9 @@ benchprogs::BenchmarkProgram ccsScale(int64_t Cols, int64_t Reps) {
       end do
     end do
   end)",
-                (long long)(Cols + 1), (long long)Cols, (long long)(Cols * 7),
-                (long long)Cols, (long long)(Cols * 7), (long long)Reps);
+                (long long)(Cols + 1), (long long)Cols, (long long)Cols,
+                (long long)(Cols * 7), (long long)Cols, (long long)(Cols * 7),
+                (long long)Reps);
   benchprogs::BenchmarkProgram B;
   B.Name = "sparse_ccs";
   B.Source = Buf;

@@ -8,6 +8,7 @@
 #include "analysis/ArrayProperty.h"
 
 #include "analysis/GatherLoop.h"
+#include "analysis/RecurrenceSolver.h"
 
 #include <set>
 
@@ -163,10 +164,31 @@ Effect ClosedFormDistanceChecker::summarizeAssign(const AssignStmt *S) {
   return Effect::killAll();
 }
 
+std::optional<Effect>
+ClosedFormDistanceChecker::summarizeLoop(const DoStmt *L,
+                                         const LoopContext &Ctx) {
+  // Only recurrences whose step array is defined in the building loop's own
+  // body need the whole-loop fact: the statement-level walk above kills on
+  // the in-body write to the step array. Everything else keeps the classic
+  // per-statement path.
+  const RecurrenceFact *F =
+      Ctx.Recurrences ? Ctx.Recurrences->factFor(L, Target) : nullptr;
+  if (!F || !F->StepDefinedInBody || !F->Distance ||
+      !F->Distance->equals(Distance))
+    return std::nullopt;
+  ++GenSites;
+  ++ConsumedFacts;
+  ConsumedDeps.merge(F->Deps);
+  countRecurrenceFactConsumed();
+  return Effect{Section::interval(F->WriteLo - 1, F->WriteHi),
+                Section::interval(F->PairLo, F->PairHi)};
+}
+
 UseSet ClosedFormDistanceChecker::factDependencies() const {
   UseSet U;
   collectSymbols(Distance, U);
   U.Reads.erase(placeholderSymbol());
+  U.merge(ConsumedDeps);
   return U;
 }
 
@@ -379,8 +401,25 @@ Effect MonotonicChecker::summarizeAssign(const AssignStmt *S) {
 std::optional<Effect>
 MonotonicChecker::summarizeLoop(const DoStmt *L, const LoopContext &Ctx) {
   GatherLoopInfo G = analyzeGatherLoop(L, Target, Uses);
-  if (!G.IsGatherLoop)
+  if (!G.IsGatherLoop) {
+    // A recurrence fact covers the monotone cases the per-statement match
+    // cannot see: the accumulator (prefix-sum) shape and array-element
+    // steps. Facts for plain scalar-step recurrences are deliberately not
+    // consumed — summarizeAssign already proves those.
+    const RecurrenceFact *F =
+        Ctx.Recurrences ? Ctx.Recurrences->factFor(L, Target) : nullptr;
+    RecurrenceClass Need = Strict ? RecurrenceClass::StrictlyIncreasing
+                                  : RecurrenceClass::MonotoneNonDec;
+    if (F && F->beyondStatementAnalysis() && F->Class >= Need) {
+      ++GenSites;
+      ++ConsumedFacts;
+      ConsumedDeps.merge(F->Deps);
+      countRecurrenceFactConsumed();
+      return Effect{Section::interval(F->WriteLo - 1, F->WriteHi),
+                    Section::interval(F->PairLo, F->PairHi)};
+    }
     return std::nullopt;
+  }
   // Gathered values are assigned in increasing order of the loop index, so
   // the section is strictly increasing (hence also non-decreasing).
   std::optional<SymExpr> Base = Ctx.ValueBefore(G.Counter);
@@ -409,8 +448,23 @@ Effect InjectivityChecker::summarizeAssign(const AssignStmt *S) {
 std::optional<Effect>
 InjectivityChecker::summarizeLoop(const DoStmt *L, const LoopContext &Ctx) {
   GatherLoopInfo G = analyzeGatherLoop(L, Target, Uses);
-  if (!G.IsGatherLoop)
+  if (!G.IsGatherLoop) {
+    // Strictly increasing values are pairwise distinct, so a
+    // StrictlyIncreasing recurrence generates injectivity over the whole
+    // element cover [PairLo, PairHi + 1].
+    const RecurrenceFact *F =
+        Ctx.Recurrences ? Ctx.Recurrences->factFor(L, Target) : nullptr;
+    if (F && F->beyondStatementAnalysis() &&
+        F->Class == RecurrenceClass::StrictlyIncreasing) {
+      ++GenSites;
+      ++ConsumedFacts;
+      ConsumedDeps.merge(F->Deps);
+      countRecurrenceFactConsumed();
+      return Effect{Section::interval(F->WriteLo, F->WriteHi),
+                    Section::interval(F->elemLo(), F->elemHi())};
+    }
     return std::nullopt;
+  }
   std::optional<SymExpr> Base = Ctx.ValueBefore(G.Counter);
   if (!Base)
     return Effect::killAll();

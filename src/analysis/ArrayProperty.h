@@ -35,6 +35,8 @@
 namespace iaa {
 namespace analysis {
 
+class RecurrenceCatalog;
+
 /// The effect of executing a node on a property, per Sec. 3.2.3: Kill is a
 /// MAY over-approximation, Gen a MUST under-approximation.
 struct Effect {
@@ -52,6 +54,11 @@ struct Effect {
 /// reset value).
 struct LoopContext {
   std::function<std::optional<sym::SymExpr>(const mf::Symbol *)> ValueBefore;
+  /// Recurrence facts derived from index-array-building loops
+  /// (RecurrenceSolver.h); null when the solver runs without a catalog.
+  /// Checkers consult it only for recurrences that are *beyond* the
+  /// statement-level pattern matches, so the classic paths stay identical.
+  const RecurrenceCatalog *Recurrences = nullptr;
 };
 
 /// The property kinds of Sec. 3 (Table 3 abbreviations in parentheses).
@@ -104,6 +111,12 @@ public:
   /// sections are not jointly injective).
   unsigned genSites() const { return GenSites; }
 
+  /// Number of recurrence-catalog facts this checker consumed during the
+  /// solve. Nonzero marks the verification as recurrence-backed: the
+  /// dependence tester records fallback runtime checks for it and the
+  /// solver charges kill-shadow invalidations to the recurrence stats.
+  virtual unsigned consumedRecurrenceFacts() const { return 0; }
+
 protected:
   const mf::Symbol *Target;
   const SymbolUses &Uses;
@@ -123,7 +136,10 @@ public:
     return PropertyKind::ClosedFormDistance;
   }
   Effect summarizeAssign(const mf::AssignStmt *S) override;
+  std::optional<Effect> summarizeLoop(const mf::DoStmt *L,
+                                      const LoopContext &Ctx) override;
   UseSet factDependencies() const override;
+  unsigned consumedRecurrenceFacts() const override { return ConsumedFacts; }
 
   const sym::SymExpr &distance() const { return Distance; }
 
@@ -145,6 +161,8 @@ private:
   matchRecurrence(const mf::AssignStmt *S) const;
 
   sym::SymExpr Distance;
+  UseSet ConsumedDeps;
+  unsigned ConsumedFacts = 0;
 };
 
 /// Verifies a(pos) == Value(pos) on the query section (the Fig. 8 example);
@@ -210,11 +228,15 @@ public:
   Effect summarizeAssign(const mf::AssignStmt *S) override;
   std::optional<Effect> summarizeLoop(const mf::DoStmt *L,
                                       const LoopContext &Ctx) override;
+  UseSet factDependencies() const override { return ConsumedDeps; }
+  unsigned consumedRecurrenceFacts() const override { return ConsumedFacts; }
 
   bool strict() const { return Strict; }
 
 private:
   bool Strict;
+  UseSet ConsumedDeps;
+  unsigned ConsumedFacts = 0;
 };
 
 /// Verifies that the values in the query section are pairwise distinct.
@@ -228,6 +250,12 @@ public:
   Effect summarizeAssign(const mf::AssignStmt *S) override;
   std::optional<Effect> summarizeLoop(const mf::DoStmt *L,
                                       const LoopContext &Ctx) override;
+  UseSet factDependencies() const override { return ConsumedDeps; }
+  unsigned consumedRecurrenceFacts() const override { return ConsumedFacts; }
+
+private:
+  UseSet ConsumedDeps;
+  unsigned ConsumedFacts = 0;
 };
 
 /// The symbolic value range of \p E at statement \p S, sweeping every

@@ -151,6 +151,8 @@ PropertyResult PropertySolver::verifyBefore(const Stmt *At,
     for (const Symbol *Dep : Deps.Reads)
       if (R.PathWrites.writes(Dep))
         R.Verified = false;
+    if (!R.Verified && C.consumedRecurrenceFacts() > 0)
+      countRecurrenceFactKilled();
   }
 
   prop_nodes_visited += R.NodesVisited;
@@ -356,6 +358,7 @@ Effect PropertySolver::effectOfLoopNode(HcgNode *N, PropertyChecker &C,
   const auto *L = cast<DoStmt>(N->S);
   LoopContext Ctx;
   Ctx.ValueBefore = [this, N](const Symbol *S) { return valueBefore(N, S); };
+  Ctx.Recurrences = &Recurrences;
 
   // Whole-loop pattern match first (gather loops etc.). Its facts are
   // expressed in terms of post-loop values, so the loop's own writes are

@@ -36,6 +36,7 @@
 
 #include "analysis/ArrayProperty.h"
 #include "analysis/GlobalConstants.h"
+#include "analysis/RecurrenceSolver.h"
 #include "cfg/Hcg.h"
 #include "support/Timer.h"
 
@@ -61,7 +62,13 @@ struct PropertyResult {
 class PropertySolver {
 public:
   PropertySolver(cfg::Hcg &G, const SymbolUses &Uses)
-      : G(G), Uses(Uses), Consts(G.program()) {}
+      : G(G), Uses(Uses), Consts(G.program()),
+        Recurrences(G.program(), Uses) {}
+
+  /// The recurrence facts this solver derived from the program text. Each
+  /// solver builds its own catalog (the auditor's solver re-derives every
+  /// fact from scratch rather than trusting the planner's).
+  const RecurrenceCatalog &recurrences() const { return Recurrences; }
 
   /// When set, verifyBefore accumulates its wall-clock time into \p T
   /// (Table 2 reports the fraction of compile time spent here).
@@ -115,6 +122,7 @@ private:
   /// Polaris runs before the analyses (Fig. 15); needed to prove loop
   /// bounds positive (zero-trip exclusion) during aggregation.
   GlobalConstants Consts;
+  RecurrenceCatalog Recurrences;
   AccumulatingTimer *Timer = nullptr;
   static constexpr unsigned MaxDepth = 64;
 };

@@ -1,0 +1,445 @@
+//===- analysis/RecurrenceSolver.cpp - Recurrence facts for index arrays --===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RecurrenceSolver.h"
+
+#include "analysis/ArrayProperty.h"
+#include "support/Statistic.h"
+
+#include <functional>
+#include <set>
+
+using namespace iaa;
+using namespace iaa::analysis;
+using namespace iaa::mf;
+using namespace iaa::sym;
+
+#define IAA_STAT_GROUP "recurrence"
+IAA_STAT(recurrence_facts_derived,
+         "Recurrence facts derived from index-array building loops");
+IAA_STAT(recurrence_facts_consumed,
+         "Recurrence facts consumed by property checkers");
+IAA_STAT(recurrence_facts_killed,
+         "Consumed recurrence facts invalidated by path writes");
+IAA_STAT(recurrence_loops_promoted,
+         "Loops promoted from runtime-conditional to static parallel");
+
+void iaa::analysis::countRecurrenceFactConsumed() {
+  ++recurrence_facts_consumed;
+}
+void iaa::analysis::countRecurrenceFactKilled() { ++recurrence_facts_killed; }
+void iaa::analysis::countRecurrencePromotion() { ++recurrence_loops_promoted; }
+
+const char *iaa::analysis::recurrenceClassName(RecurrenceClass C) {
+  switch (C) {
+  case RecurrenceClass::None:               return "none";
+  case RecurrenceClass::Bounded:            return "bounded";
+  case RecurrenceClass::MonotoneNonDec:     return "monotone-nondec";
+  case RecurrenceClass::StrictlyIncreasing: return "strictly-increasing";
+  }
+  return "?";
+}
+
+SymExpr RecurrenceFact::elemHi() const { return PairHi + 1; }
+
+std::string RecurrenceFact::describe() const {
+  std::string S = Array->name();
+  S += ": ";
+  S += recurrenceClassName(Class);
+  S += Accumulator ? " accumulator" : " direct";
+  S += " recurrence, pairs [" + PairLo.str() + " : " + PairHi.str() + "]";
+  if (Distance)
+    S += ", distance " + Distance->str();
+  if (StepBounds.Lo || StepBounds.Hi)
+    S += ", step in " + StepBounds.str();
+  if (Conditional)
+    S += ", conditional";
+  return S;
+}
+
+namespace {
+
+/// Collects every program symbol mentioned by \p E (transitively through
+/// atom operands and subscripts) into \p Out.Reads.
+void collectExprSymbols(const SymExpr &E, UseSet &Out);
+
+void collectAtomSyms(const AtomRef &A, UseSet &Out) {
+  if (A->symbol())
+    Out.Reads.insert(A->symbol());
+  for (const SymExpr &Operand : A->operands())
+    collectExprSymbols(Operand, Out);
+}
+
+void collectExprSymbols(const SymExpr &E, UseSet &Out) {
+  for (const auto &[Key, Term] : E.terms())
+    collectAtomSyms(Term.first, Out);
+}
+
+/// Matches `x(e+1) = x(e) + d` for array \p X; returns (read position e,
+/// step d). Same pattern as ClosedFormDistanceChecker::matchRecurrence, but
+/// usable without a checker instance.
+std::optional<std::pair<SymExpr, SymExpr>>
+matchDirectRecurrence(const AssignStmt *S, const Symbol *X) {
+  const mf::ArrayRef *LHS = S->arrayTarget();
+  if (!LHS || LHS->array() != X || LHS->rank() != 1)
+    return std::nullopt;
+  SymExpr E1 = SymExpr::fromAst(LHS->subscript(0));
+  SymExpr Rhs = SymExpr::fromAst(S->rhs());
+  AtomRef XTerm;
+  for (const auto &[Key, Term] : Rhs.terms()) {
+    const auto &[A, Coeff] = Term;
+    if (!A->references(X))
+      continue;
+    if (XTerm || Coeff != 1 || A->kind() != AtomKind::ArrayElem ||
+        A->symbol() != X)
+      return std::nullopt;
+    XTerm = A;
+  }
+  if (!XTerm)
+    return std::nullopt;
+  SymExpr E2 = XTerm->operands()[0];
+  if (E2.references(X))
+    return std::nullopt;
+  if (!(E1 - E2 - 1).isZero())
+    return std::nullopt;
+  SymExpr D = Rhs - SymExpr::atom(XTerm);
+  if (D.references(X))
+    return std::nullopt;
+  return std::make_pair(E2, D);
+}
+
+/// True when \p L has the default unit step (or a literal step of 1).
+bool hasUnitStep(const DoStmt *L) {
+  if (!L->step())
+    return true;
+  const auto *Lit = dyn_cast<IntLit>(L->step());
+  return Lit && Lit->value() == 1;
+}
+
+/// The loop indices of \p L and every enclosing do loop — control variables
+/// that must never appear in a fact's dependency set (they are rebound by
+/// their loops, and later unrelated loops legitimately overwrite them).
+std::set<const Symbol *> controlVars(const DoStmt *L) {
+  std::set<const Symbol *> Out;
+  Out.insert(L->indexVar());
+  for (const Stmt *P = L->parent(); P; P = P->parent())
+    if (const auto *DS = dyn_cast<DoStmt>(P))
+      Out.insert(DS->indexVar());
+  return Out;
+}
+
+/// Whole-program hull of every value ever assigned to array \p Y, widened
+/// with 0 (unwritten elements read as zero-initialized memory). Sound
+/// regardless of control flow: any element of Y holds either 0 or some
+/// assigned value.
+SymRange wholeProgramValueHull(const Program &P, const Symbol *Y) {
+  SymRange Hull = SymRange::point(SymExpr::constant(0));
+  bool Bail = false;
+  P.forEachStmt([&](Stmt *S) {
+    if (Bail)
+      return;
+    const auto *AS = dyn_cast<AssignStmt>(S);
+    if (!AS || AS->writtenSymbol() != Y)
+      return;
+    SymRange R = valueRangeAt(SymExpr::fromAst(AS->rhs()), AS);
+    if (!R.Lo.isFinite() || !R.Hi.isFinite()) {
+      Bail = true;
+      return;
+    }
+    Hull.Lo = SymBound::finite(SymExpr::min(Hull.Lo.E, R.Lo.E));
+    Hull.Hi = SymBound::finite(SymExpr::max(Hull.Hi.E, R.Hi.E));
+  });
+  return Bail ? SymRange::all() : Hull;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RecurrenceCatalog
+//===----------------------------------------------------------------------===//
+
+RecurrenceCatalog::RecurrenceCatalog(const Program &P, const SymbolUses &Uses)
+    : Prog(P) {
+  P.forEachStmt([&](Stmt *S) {
+    if (const auto *L = dyn_cast<DoStmt>(S))
+      analyzeLoop(L, Uses);
+  });
+}
+
+const RecurrenceFact *RecurrenceCatalog::factFor(const DoStmt *L,
+                                                 const Symbol *X) const {
+  auto It = Index.find({L, X});
+  return It == Index.end() ? nullptr : &Facts[It->second];
+}
+
+void RecurrenceCatalog::addFact(RecurrenceFact F) {
+  Index[{F.Loop, F.Array}] = static_cast<unsigned>(Facts.size());
+  Facts.push_back(std::move(F));
+  ++recurrence_facts_derived;
+}
+
+void RecurrenceCatalog::analyzeLoop(const DoStmt *L, const SymbolUses &Uses) {
+  if (!hasUnitStep(L))
+    return;
+  const Symbol *I = L->indexVar();
+  SymExpr Lo = SymExpr::fromAst(L->lower());
+  SymExpr Up = SymExpr::fromAst(L->upper());
+
+  // The loop-control contract: neither the index nor any symbol of the
+  // bounds may be written by the body.
+  UseSet BodyU = Uses.bodyUses(L->body());
+  if (BodyU.writes(I))
+    return;
+  UseSet BoundReads;
+  SymbolUses::exprReads(L->lower(), BoundReads);
+  SymbolUses::exprReads(L->upper(), BoundReads);
+  for (const Symbol *S : BoundReads.Reads)
+    if (BodyU.writes(S))
+      return;
+
+  std::set<const Symbol *> Control = controlVars(L);
+
+  // Per-top-level-statement transitive use sets, reused by both recognizers.
+  std::vector<UseSet> StmtU;
+  StmtU.reserve(L->body().size());
+  for (const Stmt *S : L->body())
+    StmtU.push_back(Uses.stmtUses(S));
+
+  auto OnlyWriterOf = [&](const Symbol *X, unsigned Idx) {
+    for (unsigned K = 0; K < StmtU.size(); ++K)
+      if (K != Idx && StmtU[K].writes(X))
+        return false;
+    return true;
+  };
+
+  auto FactDeps = [&](const UseSet &StepSyms) {
+    UseSet Deps;
+    Deps.Reads = StepSyms.Reads;
+    SymbolUses::exprReads(L->lower(), Deps);
+    SymbolUses::exprReads(L->upper(), Deps);
+    for (const Symbol *C : Control)
+      Deps.Reads.erase(C);
+    Deps.Reads.erase(placeholderSymbol());
+    return Deps;
+  };
+
+  for (unsigned Idx = 0; Idx < L->body().size(); ++Idx) {
+    const auto *AS = dyn_cast<AssignStmt>(L->body()[Idx]);
+    if (!AS)
+      continue;
+    const Symbol *X = AS->writtenSymbol();
+    if (!X || !X->isArray() || X->rank() != 1 ||
+        X->elementKind() != ScalarKind::Int)
+      continue;
+    if (Index.count({L, X}) || !OnlyWriterOf(X, Idx))
+      continue;
+
+    // --- Shape 1: direct recurrence x(e+1) = x(e) + d. --------------------
+    if (auto Match = matchDirectRecurrence(AS, X)) {
+      const auto &[Pos, D] = *Match;
+      SymExpr Rest = Pos - SymExpr::var(I);
+      if (Pos.coeffOfVar(I) != 1 || !Rest.isConstant())
+        continue;
+      int64_t C = Rest.constValue();
+
+      // Classify the step sources. Scalars must be loop-invariant; array
+      // sources must either be defined earlier in this body at the same
+      // subscript (the read sees exactly the final value) or be untouched
+      // by the body (the read sees the pre-loop = post-loop value).
+      UseSet StepSyms;
+      collectExprSymbols(D, StepSyms);
+      RangeEnv Env = envAt(AS);
+      bool OK = true, ReadsArray = false, DefinedInBody = false;
+      for (const Symbol *S : StepSyms.Reads) {
+        if (!OK)
+          break;
+        if (Control.count(S))
+          continue;
+        if (!S->isArray()) {
+          if (BodyU.writes(S))
+            OK = false;
+          continue;
+        }
+        ReadsArray = true;
+        if (S->rank() != 1) {
+          OK = false;
+          continue;
+        }
+        if (!BodyU.writes(S)) {
+          Env.bindArrayValues(S, wholeProgramValueHull(Prog, S));
+          continue;
+        }
+        // Find the unique in-body definition: a preceding top-level
+        // assignment y(sub) = rhs with sub bijective in the loop index.
+        unsigned DefIdx = 0;
+        while (DefIdx < StmtU.size() && !StmtU[DefIdx].writes(S))
+          ++DefIdx;
+        const AssignStmt *Def =
+            DefIdx < Idx ? dyn_cast<AssignStmt>(L->body()[DefIdx]) : nullptr;
+        if (!Def || !OnlyWriterOf(S, DefIdx)) {
+          OK = false;
+          continue;
+        }
+        const mf::ArrayRef *DefT = Def->arrayTarget();
+        if (!DefT || DefT->array() != S || DefT->rank() != 1) {
+          OK = false;
+          continue;
+        }
+        SymExpr DefSub = SymExpr::fromAst(DefT->subscript(0));
+        if (DefSub.coeffOfVar(I) != 1 ||
+            !(DefSub - SymExpr::var(I)).isConstant()) {
+          OK = false;
+          continue;
+        }
+        // Every appearance of the array in the step must be exactly the
+        // defined element.
+        for (const auto &[Key, Term] : D.terms()) {
+          const AtomRef &A = Term.first;
+          if (!A->references(S))
+            continue;
+          if (A->kind() != AtomKind::ArrayElem || A->symbol() != S ||
+              !A->operands()[0].equals(DefSub)) {
+            OK = false;
+            break;
+          }
+        }
+        if (!OK)
+          continue;
+        DefinedInBody = true;
+        Env.bindArrayValues(S,
+                            valueRangeAt(SymExpr::fromAst(Def->rhs()), Def));
+      }
+      if (!OK)
+        continue;
+
+      RecurrenceFact F;
+      F.Array = X;
+      F.Loop = L;
+      F.StepReadsArray = ReadsArray;
+      F.StepDefinedInBody = DefinedInBody;
+      F.PairLo = Lo + C;
+      F.PairHi = Up + C;
+      F.WriteLo = Lo + C + 1;
+      F.WriteHi = Up + C + 1;
+      F.Distance = D.substituteVar(
+          I, SymExpr::var(placeholderSymbol()) - SymExpr::constant(C));
+      F.StepBounds = evalConstRange(D, Env);
+      if (provablyPositive(D, Env))
+        F.Class = RecurrenceClass::StrictlyIncreasing;
+      else if (provablyNonNegative(D, Env))
+        F.Class = RecurrenceClass::MonotoneNonDec;
+      else if (F.StepBounds.Lo && F.StepBounds.Hi)
+        F.Class = RecurrenceClass::Bounded;
+      else
+        F.Class = RecurrenceClass::None;
+      F.Deps = FactDeps(StepSyms);
+      addFact(std::move(F));
+      continue;
+    }
+
+    // --- Shape 2: accumulator prefix sum p = p + d ... x(e) = p. ----------
+    SymExpr Rhs = SymExpr::fromAst(AS->rhs());
+    AtomRef AccAtom = Rhs.asSingleAtom();
+    if (!AccAtom || AccAtom->kind() != AtomKind::Var)
+      continue;
+    const Symbol *Acc = AccAtom->symbol();
+    if (!Acc || Acc->isArray() || Acc->elementKind() != ScalarKind::Int ||
+        Control.count(Acc))
+      continue;
+    const mf::ArrayRef *StoreT = AS->arrayTarget();
+    if (!StoreT || StoreT->rank() != 1)
+      continue;
+    SymExpr E = SymExpr::fromAst(StoreT->subscript(0));
+    if (E.coeffOfVar(I) != 1 || !(E - SymExpr::var(I)).isConstant())
+      continue;
+    int64_t C = (E - SymExpr::var(I)).constValue();
+
+    // Every write to the accumulator anywhere in the body must be a
+    // self-increment; track whether it executes unconditionally (a direct
+    // child of the loop) or under a branch / inner loop. Whiles and calls
+    // touching the accumulator are opaque: bail.
+    bool OK = true, SawCondUpdate = false, AllNonNeg = true;
+    bool HasUncondPositive = false;
+    UseSet StepSyms;
+    StepSyms.Reads.insert(Acc);
+    std::function<void(const StmtList &, bool)> Scan =
+        [&](const StmtList &Body, bool UnderCond) {
+          for (const Stmt *S : Body) {
+            if (!OK)
+              return;
+            if (S == AS)
+              continue;
+            switch (S->kind()) {
+            case StmtKind::Assign: {
+              const auto *A = cast<AssignStmt>(S);
+              if (A->writtenSymbol() != Acc)
+                continue;
+              SymExpr R = SymExpr::fromAst(A->rhs());
+              if (R.coeffOfVar(Acc) != 1) {
+                OK = false; // reset or rescale: not a running sum
+                return;
+              }
+              SymExpr D = R - SymExpr::var(Acc);
+              if (D.references(Acc) || D.references(X)) {
+                OK = false;
+                return;
+              }
+              UseSet DS;
+              collectExprSymbols(D, DS);
+              for (const Symbol *Sym : DS.Reads)
+                if (Sym->isArray() || (!Control.count(Sym) &&
+                                       Sym != Acc && BodyU.writes(Sym))) {
+                  OK = false;
+                  return;
+                }
+              StepSyms.merge(DS);
+              RangeEnv Env = envAt(A);
+              bool NonNeg = provablyNonNegative(D, Env);
+              AllNonNeg = AllNonNeg && NonNeg;
+              if (!UnderCond && provablyPositive(D, Env))
+                HasUncondPositive = true;
+              SawCondUpdate = SawCondUpdate || UnderCond;
+              continue;
+            }
+            case StmtKind::If: {
+              const auto *IS = cast<IfStmt>(S);
+              Scan(IS->thenBody(), /*UnderCond=*/true);
+              Scan(IS->elseBody(), /*UnderCond=*/true);
+              continue;
+            }
+            case StmtKind::Do:
+              Scan(cast<DoStmt>(S)->body(), /*UnderCond=*/true);
+              continue;
+            case StmtKind::While:
+            case StmtKind::Call:
+              if (Uses.stmtUses(S).writes(Acc) || Uses.stmtUses(S).writes(X))
+                OK = false;
+              continue;
+            }
+          }
+        };
+    Scan(L->body(), /*UnderCond=*/false);
+    if (!OK || !AllNonNeg)
+      continue;
+
+    RecurrenceFact F;
+    F.Array = X;
+    F.Loop = L;
+    F.Accumulator = true;
+    F.AccumulatorSym = Acc;
+    F.Conditional = SawCondUpdate;
+    F.PairLo = Lo + C;
+    F.PairHi = Up + C - 1;
+    F.WriteLo = Lo + C;
+    F.WriteHi = Up + C;
+    F.Class = HasUncondPositive ? RecurrenceClass::StrictlyIncreasing
+                                : RecurrenceClass::MonotoneNonDec;
+    F.Deps = FactDeps(StepSyms);
+    F.Deps.Reads.insert(Acc);
+    addFact(std::move(F));
+  }
+}

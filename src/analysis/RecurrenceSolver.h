@@ -1,0 +1,148 @@
+//===- analysis/RecurrenceSolver.h - Recurrence facts for index arrays -*- C++//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recurrence analysis of index-array-constructing loops, after Bhosale &
+/// Eigenmann (arXiv 1911.05839): instead of failing statically on an index
+/// array whose defining step is invisible at statement level (an array
+/// element read in the same body, or a scalar accumulator), analyze the
+/// *whole recurrence* that builds the array and classify it on the lattice
+///
+///   None  ⊑  Bounded  ⊑  MonotoneNonDec  ⊑  StrictlyIncreasing
+///
+/// Two shapes are recognized:
+///
+///  - direct:       x(e+1) = x(e) + d      (e = i + c, one unconditional
+///                                          write; d may read an array
+///                                          defined earlier in the body)
+///  - accumulator:  p = p + d ... x(e) = p (prefix sum through a scalar;
+///                                          conditional increments widen the
+///                                          class to non-strict, a reset or
+///                                          any non-increment write bails)
+///
+/// The derived RecurrenceFacts are consumed by PropertySolver's property
+/// checkers as whole-loop Gen facts (ArrayProperty.h), which makes them
+/// flow interprocedurally through the HCG exactly like gather-loop facts.
+/// Each fact carries its dependency set; the solver's kill-shadow rule
+/// invalidates a consumed fact when the array, its accumulator, or any
+/// step source is overwritten on the query path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_ANALYSIS_RECURRENCESOLVER_H
+#define IAA_ANALYSIS_RECURRENCESOLVER_H
+
+#include "analysis/SymbolUses.h"
+#include "mf/Program.h"
+#include "symbolic/SymRange.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace analysis {
+
+/// What the recurrence proves about adjacent elements of the built array.
+/// The order is meaningful: every class implies all weaker ones.
+enum class RecurrenceClass {
+  None,               ///< Shape recognized but the step is unclassifiable.
+  Bounded,            ///< Step values lie in a known finite range.
+  MonotoneNonDec,     ///< Every step is provably >= 0.
+  StrictlyIncreasing, ///< Every iteration advances by >= 1 (=> injective).
+};
+
+const char *recurrenceClassName(RecurrenceClass C);
+
+/// A compile-time fact about how one loop builds one index array.
+struct RecurrenceFact {
+  const mf::Symbol *Array = nullptr;
+  const mf::DoStmt *Loop = nullptr;
+  RecurrenceClass Class = RecurrenceClass::None;
+
+  /// True for the accumulator (prefix-sum) shape.
+  bool Accumulator = false;
+  const mf::Symbol *AccumulatorSym = nullptr;
+  /// True when some increment is guarded (or nested) and was widened
+  /// conservatively.
+  bool Conditional = false;
+  /// True when the step reads array elements — the case statement-level
+  /// matching cannot bound.
+  bool StepReadsArray = false;
+  /// True when a step-source array is defined in the recurrence body itself
+  /// (def-before-use at the same subscript) — the case the statement-level
+  /// CFD walk kills on.
+  bool StepDefinedInBody = false;
+
+  /// Adjacent pairs (p, p+1) the recurrence orders: p in [PairLo, PairHi].
+  sym::SymExpr PairLo, PairHi;
+  /// Elements the loop writes: [WriteLo, WriteHi].
+  sym::SymExpr WriteLo, WriteHi;
+
+  /// Exact per-pair distance in terms of sym::placeholderSymbol(), when the
+  /// step has a stable closed form (direct shape only).
+  std::optional<sym::SymExpr> Distance;
+  /// Constant bounds on the step, when interval evaluation found any.
+  sym::ConstRange StepBounds;
+
+  /// Symbols the fact depends on (loop bounds, step arrays, accumulator —
+  /// never the built array itself or loop indices). A write to any of them
+  /// between the building loop and the query invalidates the fact.
+  UseSet Deps;
+
+  /// Elements jointly covered by the ordering chain: [PairLo, PairHi + 1].
+  sym::SymExpr elemLo() const { return PairLo; }
+  sym::SymExpr elemHi() const;
+
+  /// True when the fact proves something the per-statement pattern match
+  /// cannot (accumulator shape, or an array-element step). Checkers only
+  /// consume such facts, keeping the classic statement-level path — and its
+  /// test surface — byte-identical where it already works.
+  bool beyondStatementAnalysis() const {
+    return Accumulator || StepReadsArray;
+  }
+
+  std::string describe() const;
+};
+
+/// Derives recurrence facts for every (loop, array) pair in the program.
+/// Built by each PropertySolver over its own SymbolUses, so independent
+/// solvers (the planner's vs. the auditor's) re-derive every fact from
+/// scratch rather than trusting each other's state.
+class RecurrenceCatalog {
+public:
+  RecurrenceCatalog(const mf::Program &P, const SymbolUses &Uses);
+
+  /// The fact derived for array \p X from loop \p L, or null.
+  const RecurrenceFact *factFor(const mf::DoStmt *L,
+                                const mf::Symbol *X) const;
+
+  /// All derived facts, in program order.
+  const std::vector<RecurrenceFact> &facts() const { return Facts; }
+
+private:
+  void analyzeLoop(const mf::DoStmt *L, const SymbolUses &Uses);
+  void addFact(RecurrenceFact F);
+
+  const mf::Program &Prog;
+  std::vector<RecurrenceFact> Facts;
+  std::map<std::pair<const mf::DoStmt *, const mf::Symbol *>, unsigned> Index;
+};
+
+/// \name Counters of the "recurrence" stats group, incremented from the
+/// consuming layers (checkers, solver, parallelizer).
+/// @{
+void countRecurrenceFactConsumed();
+void countRecurrenceFactKilled();
+void countRecurrencePromotion();
+/// @}
+
+} // namespace analysis
+} // namespace iaa
+
+#endif // IAA_ANALYSIS_RECURRENCESOLVER_H

@@ -292,6 +292,7 @@ DependenceTester::verifiedDistance(const DoStmt *L, const Symbol *Ptr,
   ++R.PropertyQueries;
   if (Solver.verifyBefore(L, CFD, S).Verified) {
     It->second.Verified = true;
+    It->second.Recurrence = CFD.consumedRecurrenceFacts() > 0;
     It->second.Distance = *Dist;
   }
   return It->second;
@@ -431,43 +432,21 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
       SymRange SubRange = rangeOverVar(Sub, I, LoL, UpL);
       if (!SubRange.Lo.isFinite() || !SubRange.Hi.isFinite())
         continue;
-      InjectivityChecker Inj(Q, Uses);
-      ++R.PropertyQueries;
-      Section S = Section::interval(SubRange.Lo.E, SubRange.Hi.E);
-      PropertyResult PR = Solver.verifyBefore(L, Inj, S);
-      if (PR.Verified && Inj.genSites() == 1) {
-        O.Independent = true;
-        O.Test = TestKind::Injective;
-        O.PropertiesUsed = {Q->name() + ":INJ"};
-        O.Detail = "subscript " + Q->name() + "(...) is injective";
-        return O;
-      }
-      // Strict monotonicity implies injectivity and is available for
-      // recurrence-built arrays that no gather loop produced (a Sec. 3
-      // property the paper lists; an extension beyond Table 3's cases).
-      MonotonicChecker Mono(Q, /*Strict=*/true, Uses);
-      ++R.PropertyQueries;
-      Section SM = Section::interval(SubRange.Lo.E, SubRange.Hi.E - 1);
-      PropertyResult MR = Solver.verifyBefore(L, Mono, SM);
-      if (MR.Verified) {
-        O.Independent = true;
-        O.Test = TestKind::Injective;
-        O.PropertiesUsed = {Q->name() + ":MONO"};
-        O.Detail = "subscript " + Q->name() + "(...) is strictly increasing";
-        return O;
-      }
-      // Neither injectivity nor strict monotonicity was provable from the
-      // program text (Unknown, not disproven). For the plain gather shape
-      // q(i + c) with q untouched by the body, both are decidable by an
-      // O(n) scan of q's contents just before the loop runs: record the
-      // obligations so the planner can emit a runtime-conditional plan.
+      // For the plain gather shape q(i + c) with q untouched by the body,
+      // injectivity and bounds are decidable by an O(n) scan of q's
+      // contents just before the loop runs. Built up front: they become the
+      // conditional plan when the static queries below come back Unknown,
+      // and the *fallback* checks when the proof rests on a recurrence
+      // fact (a strict audit that cannot re-derive the fact demotes the
+      // plan back onto them).
+      std::vector<RuntimeCheck> DimCands;
       if (Coeff == 1 && Rest.isConstant() && !BodyW.writes(Q) &&
           Q->elementKind() == ScalarKind::Int && Q->rank() == 1) {
         int64_t Shift = Rest.constValue();
-        RuntimeCheck Inj;
-        Inj.Kind = RuntimeCheckKind::InjectiveOnRange;
-        Inj.Index = Q;
-        Inj.LoAdjust = Inj.UpAdjust = Shift;
+        RuntimeCheck CInj;
+        CInj.Kind = RuntimeCheckKind::InjectiveOnRange;
+        CInj.Index = Q;
+        CInj.LoAdjust = CInj.UpAdjust = Shift;
         RuntimeCheck Bd;
         Bd.Kind = RuntimeCheckKind::BoundsWithin;
         Bd.Index = Q;
@@ -482,10 +461,50 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
           Bd.UpBound = Ext.constValue();
           HaveBound = true;
         }
-        Cands.push_back(Inj);
+        DimCands.push_back(CInj);
         if (HaveBound)
-          Cands.push_back(Bd);
+          DimCands.push_back(Bd);
       }
+
+      InjectivityChecker Inj(Q, Uses);
+      ++R.PropertyQueries;
+      Section S = Section::interval(SubRange.Lo.E, SubRange.Hi.E);
+      PropertyResult PR = Solver.verifyBefore(L, Inj, S);
+      if (PR.Verified && Inj.genSites() == 1) {
+        bool Rec = Inj.consumedRecurrenceFacts() > 0;
+        O.Independent = true;
+        O.Test = TestKind::Injective;
+        O.PropertiesUsed = {Q->name() + (Rec ? ":INJ-REC" : ":INJ")};
+        O.Detail = "subscript " + Q->name() + "(...) is injective";
+        if (Rec) {
+          O.RecurrenceBacked = true;
+          O.FallbackChecks = DimCands;
+        }
+        return O;
+      }
+      // Strict monotonicity implies injectivity and is available for
+      // recurrence-built arrays that no gather loop produced (a Sec. 3
+      // property the paper lists; an extension beyond Table 3's cases).
+      MonotonicChecker Mono(Q, /*Strict=*/true, Uses);
+      ++R.PropertyQueries;
+      Section SM = Section::interval(SubRange.Lo.E, SubRange.Hi.E - 1);
+      PropertyResult MR = Solver.verifyBefore(L, Mono, SM);
+      if (MR.Verified) {
+        bool Rec = Mono.consumedRecurrenceFacts() > 0;
+        O.Independent = true;
+        O.Test = TestKind::Injective;
+        O.PropertiesUsed = {Q->name() + (Rec ? ":MONO-REC" : ":MONO")};
+        O.Detail = "subscript " + Q->name() + "(...) is strictly increasing";
+        if (Rec) {
+          O.RecurrenceBacked = true;
+          O.FallbackChecks = DimCands;
+        }
+        return O;
+      }
+      // Neither injectivity nor strict monotonicity was provable from the
+      // program text (Unknown, not disproven): record the obligations so
+      // the planner can emit a runtime-conditional plan.
+      Cands.insert(Cands.end(), DimCands.begin(), DimCands.end());
     }
   }
 
@@ -552,6 +571,78 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
               Candidates.insert(A->symbol());
           }
 
+      // Parses the common CRS/CCS access shape [ptr(i)+a : ptr(i)+len(i)+b]
+      // (or a constant-offset end) into its runtime-check obligations:
+      // disjointness holds iff ptr is non-decreasing, len non-negative, and
+      // each segment ends before the next one starts -- all O(n)
+      // inspectable. Used both as the conditional plan when CFD/CFB
+      // verification comes back Unknown and as the fallback checks of a
+      // recurrence-backed proof.
+      auto ParseCrsChecks = [&](const Symbol *Ptr) -> std::vector<RuntimeCheck> {
+        if (Ptr->elementKind() != ScalarKind::Int || Ptr->rank() != 1 ||
+            BodyW.writes(Ptr))
+          return {};
+        SymExpr PtrAtI = SymExpr::arrayElem(Ptr, {SymExpr::var(I)});
+        const Symbol *Len = nullptr;
+        bool Parsed = true, Any = false;
+        bool HasHiLen = false, HasHiConst = false;
+        int64_t MinLo = 0, MaxHiLen = 0, MaxHiConst = 0;
+        for (const Range &Rg : Ranges) {
+          SymExpr LoD = Rg.Lo - PtrAtI;
+          if (!LoD.isConstant()) {
+            Parsed = false;
+            break;
+          }
+          SymExpr HiD = Rg.Hi - PtrAtI;
+          int64_t HiC = HiD.constantTerm();
+          bool HiLen = false;
+          if (!HiD.isConstant()) {
+            // The end must be exactly ptr(i) + len(i) + c.
+            if (HiD.terms().size() != 1) {
+              Parsed = false;
+              break;
+            }
+            const auto &Term = HiD.terms().begin()->second;
+            const AtomRef &At = Term.first;
+            const Symbol *Y =
+                At->kind() == AtomKind::ArrayElem ? At->symbol() : nullptr;
+            if (Term.second != 1 || !Y || At->operands().size() != 1 ||
+                !At->operands()[0].equals(SymExpr::var(I)) ||
+                Y->elementKind() != ScalarKind::Int || Y->rank() != 1 ||
+                BodyW.writes(Y) || (Len && Y != Len)) {
+              Parsed = false;
+              break;
+            }
+            Len = Y;
+            HiLen = true;
+          }
+          MinLo = Any ? std::min(MinLo, LoD.constValue()) : LoD.constValue();
+          Any = true;
+          if (HiLen) {
+            MaxHiLen = HasHiLen ? std::max(MaxHiLen, HiC) : HiC;
+            HasHiLen = true;
+          } else {
+            MaxHiConst = HasHiConst ? std::max(MaxHiConst, HiC) : HiC;
+            HasHiConst = true;
+          }
+        }
+        if (!Parsed || !Any)
+          return {};
+        RuntimeCheck Mono;
+        Mono.Kind = RuntimeCheckKind::MonotonicNonDecreasing;
+        Mono.Index = Ptr;
+        RuntimeCheck OL;
+        OL.Kind = RuntimeCheckKind::OffsetLengthDisjoint;
+        OL.Index = Ptr;
+        OL.Length = Len;
+        OL.AccessLo = MinLo;
+        OL.HasHiLen = HasHiLen;
+        OL.AccessHiLen = MaxHiLen;
+        OL.HasHiConst = HasHiConst;
+        OL.AccessHiConst = MaxHiConst;
+        return {Mono, OL};
+      };
+
       for (const Symbol *Ptr : Candidates) {
         const CfdFact &Fact = verifiedDistance(L, Ptr, R);
         if (!Fact.Verified)
@@ -601,8 +692,14 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
         if (CheckWithRewrite()) {
           O.Independent = true;
           O.Test = TestKind::OffsetLength;
+          if (Fact.Recurrence)
+            Props[0] = Ptr->name() + ":CFD-REC";
           O.PropertiesUsed = std::move(Props);
           O.Detail = "segments of " + Ptr->name() + " provably disjoint";
+          if (Fact.Recurrence) {
+            O.RecurrenceBacked = true;
+            O.FallbackChecks = ParseCrsChecks(Ptr);
+          }
           return O;
         }
       }
@@ -620,69 +717,10 @@ ArrayDepOutcome DependenceTester::testArray(const DoStmt *L, const Symbol *X,
       if (!Cands.empty())
         Candidates.clear();
       for (const Symbol *Ptr : Candidates) {
-        if (Ptr->elementKind() != ScalarKind::Int || Ptr->rank() != 1 ||
-            BodyW.writes(Ptr))
+        std::vector<RuntimeCheck> Checks = ParseCrsChecks(Ptr);
+        if (Checks.empty())
           continue;
-        SymExpr PtrAtI = SymExpr::arrayElem(Ptr, {SymExpr::var(I)});
-        const Symbol *Len = nullptr;
-        bool Parsed = true, Any = false;
-        bool HasHiLen = false, HasHiConst = false;
-        int64_t MinLo = 0, MaxHiLen = 0, MaxHiConst = 0;
-        for (const Range &Rg : Ranges) {
-          SymExpr LoD = Rg.Lo - PtrAtI;
-          if (!LoD.isConstant()) {
-            Parsed = false;
-            break;
-          }
-          SymExpr HiD = Rg.Hi - PtrAtI;
-          int64_t HiC = HiD.constantTerm();
-          bool HiLen = false;
-          if (!HiD.isConstant()) {
-            // The end must be exactly ptr(i) + len(i) + c.
-            if (HiD.terms().size() != 1) {
-              Parsed = false;
-              break;
-            }
-            const auto &Term = HiD.terms().begin()->second;
-            const AtomRef &At = Term.first;
-            const Symbol *Y =
-                At->kind() == AtomKind::ArrayElem ? At->symbol() : nullptr;
-            if (Term.second != 1 || !Y || At->operands().size() != 1 ||
-                !At->operands()[0].equals(SymExpr::var(I)) ||
-                Y->elementKind() != ScalarKind::Int || Y->rank() != 1 ||
-                BodyW.writes(Y) || (Len && Y != Len)) {
-              Parsed = false;
-              break;
-            }
-            Len = Y;
-            HiLen = true;
-          }
-          MinLo = Any ? std::min(MinLo, LoD.constValue()) : LoD.constValue();
-          Any = true;
-          if (HiLen) {
-            MaxHiLen = HasHiLen ? std::max(MaxHiLen, HiC) : HiC;
-            HasHiLen = true;
-          } else {
-            MaxHiConst = HasHiConst ? std::max(MaxHiConst, HiC) : HiC;
-            HasHiConst = true;
-          }
-        }
-        if (!Parsed || !Any)
-          continue;
-        RuntimeCheck Mono;
-        Mono.Kind = RuntimeCheckKind::MonotonicNonDecreasing;
-        Mono.Index = Ptr;
-        Cands.push_back(Mono);
-        RuntimeCheck OL;
-        OL.Kind = RuntimeCheckKind::OffsetLengthDisjoint;
-        OL.Index = Ptr;
-        OL.Length = Len;
-        OL.AccessLo = MinLo;
-        OL.HasHiLen = HasHiLen;
-        OL.AccessHiLen = MaxHiLen;
-        OL.HasHiConst = HasHiConst;
-        OL.AccessHiConst = MaxHiConst;
-        Cands.push_back(OL);
+        Cands.insert(Cands.end(), Checks.begin(), Checks.end());
         break;
       }
     }

@@ -114,6 +114,14 @@ struct ArrayDepOutcome {
   /// may run in parallel (serial fallback otherwise). Empty when no
   /// inspectable shape was recognized.
   std::vector<RuntimeCheck> RuntimeCandidates;
+  /// True when the static proof consumed a recurrence fact (the loop would
+  /// have been runtime-conditional without the recurrence catalog). The
+  /// planner marks such plans RecurrencePromoted.
+  bool RecurrenceBacked = false;
+  /// For a recurrence-backed proof: the runtime checks the loop would have
+  /// carried without the fact. A strict audit that cannot re-derive the
+  /// fact demotes the plan back to conditional dispatch on these.
+  std::vector<RuntimeCheck> FallbackChecks;
 };
 
 /// Result of testing one loop.
@@ -175,6 +183,8 @@ private:
   };
   struct CfdFact {
     bool Verified = false;
+    /// The verification consumed a recurrence-catalog fact.
+    bool Recurrence = false;
     sym::SymExpr Distance;
   };
   struct CfbFact {

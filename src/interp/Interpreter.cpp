@@ -52,6 +52,19 @@ IAA_STAT(interp_fault_replays, "Serial replays executed after a rollback");
 IAA_STAT(interp_fault_replays_recovered,
          "Serial replays that completed cleanly (fault not reproduced)");
 
+// Per-loop dispatch tier (--stats group "dispatch"): one increment per
+// serial-context loop invocation, classified by how the dispatch decision
+// fell. Deterministic for a fixed program, input, and option set.
+static ::iaa::stat::Statistic dispatch_static(
+    "dispatch", "dispatch_static",
+    "Invocations dispatched parallel on a static proof (no inspection)");
+static ::iaa::stat::Statistic dispatch_conditional(
+    "dispatch", "dispatch_conditional",
+    "Invocations whose dispatch was decided by the runtime-check inspector");
+static ::iaa::stat::Statistic dispatch_serial(
+    "dispatch", "dispatch_serial",
+    "Invocations executed serially without consulting an inspector");
+
 namespace {
 
 /// Raises a structured fault from a context with no frame (memory
@@ -858,6 +871,9 @@ private:
     // serially under shadow tags, bypassing the profitability guard so
     // every certified plan is checked regardless of size.
     if (Plan && Opts.RaceCheck && NIter >= 2) {
+      ++dispatch_static;
+      if (Stats)
+        ++Stats->DispatchStatic;
       if (Rec)
         Rec->Detail = "race-check: plan-marked loop forced serial";
       execDoShadow(DS, Plan, Lo, Up, F);
@@ -869,6 +885,17 @@ private:
 
     if (!Plan || NIter < 2 ||
         satMul(NIter, bodyWeight(DS)) < Opts.MinParallelWork) {
+      if (!F.InParallel) {
+        if (CondInspected) {
+          ++dispatch_conditional;
+          if (Stats)
+            ++Stats->DispatchConditional;
+        } else {
+          ++dispatch_serial;
+          if (Stats)
+            ++Stats->DispatchSerial;
+        }
+      }
       if (Rec) {
         if (CondInspected) {
           // A passed inspection with a sufficient trip count dispatches in
@@ -897,6 +924,15 @@ private:
     }
 
     // --- Parallel execution.
+    if (CondInspected) {
+      ++dispatch_conditional;
+      if (Stats)
+        ++Stats->DispatchConditional;
+    } else {
+      ++dispatch_static;
+      if (Stats)
+        ++Stats->DispatchStatic;
+    }
     if (Stats)
       ++Stats->ParallelLoopRuns;
     ++interp_parallel_loop_runs;

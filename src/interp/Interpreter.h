@@ -235,6 +235,15 @@ struct ExecStats {
   std::vector<RaceRecord> Races;
   unsigned RacesFound = 0;
 
+  /// Per-loop dispatch tier over serial-context loop invocations (the
+  /// --stats "dispatch" group mirrors these as global counters). The three
+  /// tiers partition every dispatch decision: static (parallel on a static
+  /// proof, no inspection), conditional (decided by the runtime-check
+  /// inspector, whichever way it fell), serial (no inspector consulted).
+  unsigned DispatchStatic = 0;
+  unsigned DispatchConditional = 0;
+  unsigned DispatchSerial = 0;
+
   /// Inspector/executor runtime checks (ExecOptions::RuntimeChecks).
   unsigned InspectionsRun = 0;    ///< Fresh O(n) inspections executed.
   unsigned InspectionsCached = 0; ///< Verdicts served from the version cache.

@@ -198,7 +198,10 @@ std::string LoopHealth::jsonLine() const {
          ", \"wall_us\": " + json::num(WallUs) +
          ", \"footprint_lines\": " + std::to_string(FootprintLines) +
          ", \"worker_lines\": " + std::to_string(WorkerLines) +
-         ", \"sampled\": " + std::to_string(SampledAccesses) + "}";
+         ", \"sampled\": " + std::to_string(SampledAccesses) +
+         ", \"dispatch\": {\"static\": " + std::to_string(DispatchStatic) +
+         ", \"conditional\": " + std::to_string(DispatchConditional) +
+         ", \"serial\": " + std::to_string(DispatchSerial) + "}}";
 }
 
 std::string LoopHealth::str() const {
@@ -210,6 +213,11 @@ std::string LoopHealth::str() const {
                 AnalysisPct, WallUs,
                 static_cast<unsigned long long>(FootprintLines), Invocations);
   std::string Out = Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "             dispatch: static %u / conditional %u / "
+                "serial %u\n",
+                DispatchStatic, DispatchConditional, DispatchSerial);
+  Out += Buf;
   if (!Why.empty())
     Out += "             why: " + Why + "\n";
   return Out;
@@ -275,17 +283,22 @@ void Session::endLoop(LoopRecorder *R) {
   switch (R->Kind) {
   case DispatchKind::Parallel:
     Agg.SawParallel = true;
+    ++Agg.TierStatic;
     break;
   case DispatchKind::CondParallel:
     Agg.SawCondPass = true;
+    ++Agg.TierConditional;
     break;
   case DispatchKind::CondSerial:
     Agg.SawCondFail = true;
+    ++Agg.TierConditional;
     break;
   case DispatchKind::SerialSmall:
     Agg.SawSerialSmall = true;
+    ++Agg.TierSerial;
     break;
   case DispatchKind::Serial:
+    ++Agg.TierSerial;
     break;
   }
   if (!R->Detail.empty())
@@ -508,6 +521,9 @@ std::vector<LoopHealth> Session::health(const xform::PipelineResult *Plans) {
     H.FootprintLines = Agg.FootprintLines;
     H.WorkerLines = Agg.WorkerLines;
     H.SampledAccesses = Agg.Hist.Total + Agg.Hist.Cold;
+    H.DispatchStatic = Agg.TierStatic;
+    H.DispatchConditional = Agg.TierConditional;
+    H.DispatchSerial = Agg.TierSerial;
     Out.push_back(std::move(H));
   }
   return Out;

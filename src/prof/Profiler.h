@@ -216,6 +216,13 @@ struct LoopHealth {
   uint64_t FootprintLines = 0; ///< Max per-invocation total footprint.
   uint64_t WorkerLines = 0;    ///< Max per-invocation worker-lines sum.
   uint64_t SampledAccesses = 0;
+  /// Invocation counts by dispatch tier: static (parallel on a static
+  /// proof, no inspection), conditional (inspector decided, pass or fail),
+  /// serial (no plan, or the profitability guard kept a planned loop
+  /// serial). The three counts sum to Invocations.
+  unsigned DispatchStatic = 0;
+  unsigned DispatchConditional = 0;
+  unsigned DispatchSerial = 0;
 
   std::string str() const;
   std::string jsonLine() const;
@@ -453,6 +460,9 @@ private:
     uint64_t WorkerLines = 0;
     bool SawParallel = false, SawCondPass = false, SawCondFail = false,
          SawSerialSmall = false;
+    /// Invocation counts by dispatch tier (static / conditional / serial;
+    /// see LoopHealth).
+    unsigned TierStatic = 0, TierConditional = 0, TierSerial = 0;
     std::string Detail;
   };
 

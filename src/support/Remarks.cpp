@@ -18,6 +18,7 @@ const char *iaa::remarkKindName(Remark::Kind K) {
   case Remark::Kind::Audit:        return "audit";
   case Remark::Kind::RuntimeCheck: return "runtime-check";
   case Remark::Kind::FaultReplay:  return "fault-replay";
+  case Remark::Kind::Recurrence:   return "recurrence";
   }
   return "?";
 }

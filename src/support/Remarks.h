@@ -35,6 +35,9 @@ struct Remark {
     FaultReplay,  ///< A parallel loop trapped a worker fault, rolled its
                   ///< transaction back, and was replayed serially; Evidence
                   ///< records the fault and whether the replay recovered.
+    Recurrence,   ///< Parallel thanks to recurrence facts about an index
+                  ///< array's building loop; Evidence lists the runtime
+                  ///< inspections the promotion deleted.
   };
 
   /// Loop label ("<unlabeled>" when the source gave none).

@@ -166,9 +166,12 @@ bool parseAuditMode(const std::string &Name, AuditMode &M);
 
 /// Records \p A into \p R: fills PipelineResult::AuditOutcomes and appends
 /// one audit remark per audited loop. Under AuditMode::Strict every
-/// non-Certified loop's plan is demoted to serial (LoopPlan::Parallel and
-/// LoopReport::Parallel cleared, and any runtime-conditional dispatch
-/// stripped along with its checks). Returns the number of demoted loops.
+/// non-Certified loop's plan is demoted: a recurrence-promoted plan falls
+/// back to conditional dispatch on its FallbackChecks (the inspections the
+/// promotion deleted are restored and re-decided at run time); every other
+/// plan is demoted to serial (LoopPlan::Parallel and LoopReport::Parallel
+/// cleared, and any runtime-conditional dispatch stripped along with its
+/// checks). Returns the number of demoted loops.
 unsigned recordAudit(xform::PipelineResult &R, const AuditResult &A,
                      AuditMode Mode);
 

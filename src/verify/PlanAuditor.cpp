@@ -1178,23 +1178,49 @@ unsigned iaa::verify::recordAudit(xform::PipelineResult &R,
     O.Loop = LA.Label;
     O.Verdict = auditVerdictName(LA.Verdict);
     O.Detail = LA.Detail;
+    bool ToConditional = false;
     if (Mode == AuditMode::Strict && LA.Verdict != AuditVerdict::Certified) {
       O.Demoted = true;
       ++Demoted;
       ++verify_demoted;
       auto It = R.Plans.find(LA.Loop);
       if (It != R.Plans.end()) {
-        It->second.Parallel = false;
-        // Strict demotion means serial, full stop: an uncertifiable
-        // runtime-conditional plan must not re-enter through the
-        // inspector either.
-        It->second.RuntimeConditional = false;
-        It->second.RuntimeChecks.clear();
+        xform::LoopPlan &P = It->second;
+        P.Parallel = false;
+        if (P.RecurrencePromoted && !P.FallbackChecks.empty()) {
+          // A recurrence promotion the auditor cannot re-derive falls back
+          // to the conditional-dispatch plan it replaced: the inspections
+          // the promotion deleted are restored, and the inspector decides
+          // at run time what the facts claimed statically.
+          P.RecurrencePromoted = false;
+          P.RuntimeConditional = true;
+          P.RuntimeChecks = std::move(P.FallbackChecks);
+          P.FallbackChecks.clear();
+          P.LocalityIndexArray = nullptr;
+          for (const deptest::RuntimeCheck &C : P.RuntimeChecks) {
+            if (!C.Index)
+              continue;
+            if (!P.LocalityIndexArray)
+              P.LocalityIndexArray = C.Index;
+            if (C.Kind == deptest::RuntimeCheckKind::InjectiveOnRange) {
+              P.LocalityIndexArray = C.Index;
+              break;
+            }
+          }
+          ToConditional = true;
+        } else {
+          // Strict demotion means serial, full stop: an uncertifiable
+          // runtime-conditional plan must not re-enter through the
+          // inspector either.
+          P.RuntimeConditional = false;
+          P.RuntimeChecks.clear();
+        }
       }
       for (xform::LoopReport &Rep : R.Loops)
         if (Rep.Loop == LA.Loop) {
           Rep.Parallel = false;
-          Rep.RuntimeConditional = false;
+          Rep.RecurrencePromoted = false;
+          Rep.RuntimeConditional = ToConditional;
           Rep.WhyNot = "audit " + std::string(auditVerdictName(LA.Verdict)) +
                        (LA.Detail.empty() ? "" : ": " + LA.Detail);
         }
@@ -1211,7 +1237,10 @@ unsigned iaa::verify::recordAudit(xform::PipelineResult &R,
           "certification holds when the recorded runtime checks pass; the "
           "serial fallback taken on failure is sound unconditionally");
     if (O.Demoted)
-      M.Evidence.emplace_back("action", "demoted to serial");
+      M.Evidence.emplace_back(
+          "action", ToConditional
+                        ? "demoted to conditional dispatch on fallback checks"
+                        : "demoted to serial");
     for (const ObligationCheck &Ob : LA.Obligations)
       M.Evidence.emplace_back("audit:" + Ob.Kind + ":" + Ob.Subject,
                               std::string(Ob.Ok ? "ok" : "FAIL") +

@@ -20,6 +20,7 @@ const char *iaa::verify::mutationKindName(MutationKind K) {
   case MutationKind::SkipLastValue:     return "skip-last-value";
   case MutationKind::ForceParallel:     return "force-parallel";
   case MutationKind::DropRuntimeCheck:  return "drop-runtime-check";
+  case MutationKind::ForgeRecurrenceFact: return "forge-recurrence-fact";
   }
   return "?";
 }
@@ -36,7 +37,8 @@ bool iaa::verify::applyMutation(xform::PipelineResult &R, const Program &P,
 
   const Symbol *Sym = nullptr;
   if (M.Kind != MutationKind::ForceParallel &&
-      M.Kind != MutationKind::DropRuntimeCheck) {
+      M.Kind != MutationKind::DropRuntimeCheck &&
+      M.Kind != MutationKind::ForgeRecurrenceFact) {
     for (const Symbol *S : P.symbols())
       if (S->name() == M.Symbol) {
         Sym = S;
@@ -81,6 +83,19 @@ bool iaa::verify::applyMutation(xform::PipelineResult &R, const Program &P,
     Plan.RuntimeChecks.clear();
     Plan.RuntimeConditional = false;
     MarkParallel();
+    break;
+  case MutationKind::ForgeRecurrenceFact:
+    if (!Plan.RuntimeConditional || Plan.RuntimeChecks.empty() ||
+        Plan.Parallel)
+      return false;
+    Plan.FallbackChecks = std::move(Plan.RuntimeChecks);
+    Plan.RuntimeChecks.clear();
+    Plan.RuntimeConditional = false;
+    Plan.RecurrencePromoted = true;
+    MarkParallel();
+    for (xform::LoopReport &Rep : R.Loops)
+      if (Rep.Loop == L)
+        Rep.RecurrencePromoted = true;
     break;
   }
   return true;

@@ -45,6 +45,13 @@ enum class MutationKind {
   /// dependence the checks were guarding is now undischarged (Symbol is
   /// ignored).
   DropRuntimeCheck,
+  /// Pretend the recurrence solver proved a fact it did not: promote a
+  /// runtime-conditional plan to unconditional parallel, moving its checks
+  /// into FallbackChecks as a genuine promotion would. The auditor must
+  /// refuse to certify it (it re-derives recurrence facts from scratch) and
+  /// the race checker must flag the undischarged dependence dynamically
+  /// (Symbol is ignored).
+  ForgeRecurrenceFact,
 };
 
 const char *mutationKindName(MutationKind K);

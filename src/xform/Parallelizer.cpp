@@ -91,6 +91,15 @@ Remark remarkFor(const LoopReport &Rep, const LoopPlan &Plan) {
     if (!Rep.Reductions.empty())
       R.Reason +=
           "; " + std::to_string(Rep.Reductions.size()) + " reduction(s)";
+    if (Rep.RecurrencePromoted) {
+      R.K = Remark::Kind::Recurrence;
+      R.Reason += "; recurrence facts proved the index-array properties "
+                  "statically (" +
+                  std::to_string(Plan.FallbackChecks.size()) +
+                  " runtime inspection(s) deleted)";
+      for (const auto &C : Plan.FallbackChecks)
+        R.Evidence.emplace_back("deleted-check", C.str());
+    }
   } else {
     R.Reason = Rep.WhyNot;
   }
@@ -298,6 +307,29 @@ PipelineResult iaa::xform::parallelize(Program &P, PipelineMode Mode) {
     Plan.Parallel = Rep.Parallel;
     if (Rep.Parallel)
       ++pipeline_loops_parallel;
+
+    // A proof that rests on recurrence facts marks the plan promoted and
+    // keeps the runtime checks the loop would otherwise have carried, so a
+    // strict audit can demote it back to conditional dispatch instead of
+    // all the way to serial.
+    if (Rep.Parallel) {
+      for (const auto &O : Final.Arrays) {
+        if (!O.RecurrenceBacked)
+          continue;
+        Plan.RecurrencePromoted = true;
+        for (const auto &C : O.FallbackChecks) {
+          bool Dup = false;
+          for (const auto &Have : Plan.FallbackChecks)
+            Dup |= Have.str() == C.str();
+          if (!Dup)
+            Plan.FallbackChecks.push_back(C);
+        }
+      }
+      if (Plan.RecurrencePromoted) {
+        Rep.RecurrencePromoted = true;
+        analysis::countRecurrencePromotion();
+      }
+    }
 
     // 5. Runtime-check fallback (inspector/executor): when scalars are fine
     //    and every remaining array dependence came back Unknown with a

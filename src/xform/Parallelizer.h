@@ -67,6 +67,15 @@ struct LoopPlan {
   /// fallback.
   std::vector<deptest::RuntimeCheck> RuntimeChecks;
   bool RuntimeConditional = false;
+  /// True when Parallel rests on recurrence facts about an index array's
+  /// building loop (RecurrenceSolver.h): the loop would have dispatched
+  /// runtime-conditionally without them. The auditor re-derives every such
+  /// fact from scratch; under --audit=strict a promotion it cannot certify
+  /// is demoted back to conditional dispatch on FallbackChecks.
+  bool RecurrencePromoted = false;
+  /// The runtime checks a recurrence-promoted loop would have carried
+  /// without the facts (empty for plans that are not recurrence-promoted).
+  std::vector<deptest::RuntimeCheck> FallbackChecks;
   /// The index array driving the loop's irregular accesses (an injective
   /// gather/scatter check's index when one exists, else the first checked
   /// index array). The locality scheduler treats it as the gather source:
@@ -89,6 +98,8 @@ struct LoopReport {
   bool Parallel = false;
   /// Statically serial, but parallel conditional on runtime checks.
   bool RuntimeConditional = false;
+  /// Parallel thanks to consumed recurrence facts (see LoopPlan).
+  bool RecurrencePromoted = false;
   std::string WhyNot;
   std::vector<deptest::ArrayDepOutcome> DepOutcomes;
   std::vector<ArrayPrivOutcome> PrivOutcomes;

@@ -60,15 +60,20 @@ const char *PermutationScatter = R"(program t
     end do
   end)";
 
-/// CCS-style segment kernel needing the monotone + offset-length checks.
+/// CCS-style segment kernel needing the monotone + offset-length checks
+/// (colcnt written through an identity permutation keeps the recurrence
+/// solver from proving the colptr build statically).
 const char *CcsScale = R"(program t
     integer i, j, n
-    integer colptr(101), colcnt(100)
+    integer colptr(101), colcnt(100), perm(100)
     real vals(800)
     n = 100
     colptr(1) = 1
+    mkperm: do i = 1, n
+      perm(i) = i
+    end do
     build: do i = 1, n
-      colcnt(i) = mod(i * 5, 7) + 1
+      colcnt(perm(i)) = mod(i * 5, 7) + 1
       colptr(i + 1) = colptr(i) + colcnt(i)
     end do
     fill: do i = 1, 800

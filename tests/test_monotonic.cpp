@@ -109,6 +109,68 @@ TEST(Monotonic, GatherLoopIsStrictlyIncreasing) {
   EXPECT_TRUE(R.Verified);
 }
 
+// Pins the strict/non-strict verdicts across the constant-step sweep
+// d ∈ {-1, 0, 2}: negative steps prove nothing, a zero step is monotone
+// but not strict, and any positive step proves both variants.
+TEST(Monotonic, ConstantStepSweep) {
+  struct Case {
+    const char *Step;  ///< Source text of the recurrence step.
+    bool NonStrict;    ///< Expected non-strict verdict.
+    bool Strict;       ///< Expected strict verdict.
+  };
+  const Case Cases[] = {
+      {"- 1", false, false},
+      {"+ 0", true, false},
+      {"+ 2", true, true},
+  };
+  for (const Case &C : Cases) {
+    std::string Source = R"(program t
+      integer i, n, t
+      integer off(101)
+      n = 100
+      off(1) = 1000
+      do i = 1, n
+        off(i + 1) = off(i) )" + std::string(C.Step) + R"(
+      end do
+      use: do i = 1, n
+        t = off(i)
+      end do
+    end)";
+    MonoFixture F(Source);
+    const Symbol *N = F.P->findSymbol("n");
+    EXPECT_EQ(F.verify("use", "off", false, 1, SymExpr::var(N) - 1).Verified,
+              C.NonStrict)
+        << "non-strict, step " << C.Step;
+    EXPECT_EQ(F.verify("use", "off", true, 1, SymExpr::var(N) - 1).Verified,
+              C.Strict)
+        << "strict, step " << C.Step;
+  }
+}
+
+// A non-unit build stride writes only every other element: the pairs the
+// recurrence skips are unordered, so both variants must fail (the generic
+// loop summary kills on non-unit steps, and the recurrence solver derives
+// no fact for such loops).
+TEST(Monotonic, NonUnitBuildStrideFails) {
+  MonoFixture F(R"(program t
+    integer i, n, t
+    integer off(102)
+    n = 100
+    off(1) = 1
+    do i = 1, n, 2
+      off(i + 1) = off(i) + 1
+    end do
+    use: do i = 1, n
+      t = off(i)
+    end do
+  end)");
+  const Symbol *N = F.P->findSymbol("n");
+  EXPECT_FALSE(
+      F.verify("use", "off", false, 1, SymExpr::var(N) - 1).Verified);
+  EXPECT_FALSE(
+      F.verify("use", "off", true, 1, SymExpr::var(N) - 1).Verified);
+}
+
 TEST(Monotonic, DecreasingRecurrenceFails) {
   MonoFixture F(R"(program t
     integer i, n, t

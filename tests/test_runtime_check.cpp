@@ -79,17 +79,22 @@ const char *DuplicateScatter = R"(program t
     end do
   end)";
 
-/// CCS-style segment kernel: colptr is built by a serial recurrence the
-/// static analysis cannot bound, so the scale loop needs the monotone +
-/// offset-length inspection to run parallel.
+/// CCS-style segment kernel: colcnt is written through a permutation (the
+/// identity at run time, but the recurrence solver cannot prove that
+/// statically), so colptr's building recurrence stays unbounded and the
+/// scale loop needs the monotone + offset-length inspection to run
+/// parallel.
 const char *CcsScale = R"(program t
     integer i, j, n
-    integer colptr(101), colcnt(100)
+    integer colptr(101), colcnt(100), perm(100)
     real vals(800)
     n = 100
     colptr(1) = 1
+    mkperm: do i = 1, n
+      perm(i) = i
+    end do
     build: do i = 1, n
-      colcnt(i) = mod(i * 5, 7) + 1
+      colcnt(perm(i)) = mod(i * 5, 7) + 1
       colptr(i + 1) = colptr(i) + colcnt(i)
     end do
     fill: do i = 1, 800

@@ -9,7 +9,7 @@
 //
 //   mfpar FILE.mf [--mode=full|noiaa|apo] [--run[=THREADS]] [--dump]
 //         [--schedule=static|dynamic|guided] [--chunk=N]
-//         [--locality=off|model|reorder]
+//         [--engine=interp|vm|both] [--locality=off|model|reorder]
 //         [--audit=off|warn|strict] [--race-check] [--runtime-check[=on|off]]
 //         [--on-fault=abort|report|replay] [--stats] [--trace=out.json]
 //         [--remarks=out.jsonl] [--profile[=out.jsonl]]
@@ -18,6 +18,13 @@
 //   --run      execute the program (optionally in parallel with N threads)
 //   --schedule loop scheduling policy for parallel runs (default static)
 //   --chunk    chunk size for the scheduler (default: policy-dependent)
+//   --engine   execution engine for parallel loop bodies (default interp):
+//              vm compiles each certified loop body to register bytecode
+//              with fused gather/scatter superinstructions and runs the
+//              chunks through the VM (loops the compiler cannot lower keep
+//              the tree walk); both runs the interpreter first as a
+//              reference, then the VM, and reports a fault if the final
+//              memory images or fault verdicts diverge
 //   --locality locality-aware scheduling (default off): model lets the
 //              static footprint model pick schedule, chunk size, and
 //              line-aligned chunk boundaries per loop (overriding
@@ -88,7 +95,8 @@ static int usage() {
   std::fprintf(stderr,
                "usage: mfpar [FILE.mf] [--mode=full|noiaa|apo] "
                "[--run[=THREADS]] [--schedule=static|dynamic|guided] "
-               "[--chunk=N] [--locality=off|model|reorder] "
+               "[--chunk=N] [--engine=interp|vm|both] "
+               "[--locality=off|model|reorder] "
                "[--audit=off|warn|strict] [--race-check] "
                "[--runtime-check[=on|off]] [--on-fault=abort|report|replay] "
                "[--dump] [--annotate] [--stats] "
@@ -128,6 +136,7 @@ int main(int argc, char **argv) {
   unsigned Threads = 4;
   interp::Schedule Sched = interp::Schedule::Static;
   int64_t ChunkSize = 0;
+  interp::ExecEngine Engine = interp::ExecEngine::Interp;
   sched::LocalityMode Locality = sched::LocalityMode::Off;
   verify::AuditMode Audit = verify::AuditMode::Off;
   bool RaceCheck = false;
@@ -169,6 +178,9 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--chunk=", 0) == 0) {
       if (!parseInt(Arg.substr(8), ChunkSize) || ChunkSize <= 0)
         return badValue("--chunk", Arg.substr(8), "a positive integer");
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      if (!interp::parseEngine(Arg.substr(9), Engine))
+        return badValue("--engine", Arg.substr(9), "interp, vm, or both");
     } else if (Arg.rfind("--locality=", 0) == 0) {
       if (!sched::parseLocalityMode(Arg.substr(11), Locality))
         return badValue("--locality", Arg.substr(11),
@@ -338,6 +350,7 @@ int main(int argc, char **argv) {
     Par.Sched = Sched;
     Par.ChunkSize = ChunkSize;
     Par.Locality = Locality;
+    Par.Engine = Engine;
     Par.RuntimeChecks = RuntimeChecks;
     Par.OnFault = OnFault;
     Par.Simulate = true; // Works on any host core count.
@@ -365,6 +378,23 @@ int main(int argc, char **argv) {
                         Parallel.checksumExcluding(Dead)
                     ? "matches serial"
                     : "DIVERGES");
+    if (Engine != interp::ExecEngine::Interp) {
+      std::printf("engine (%s): %u loop%s compiled to bytecode, %u bailout%s "
+                  "to the tree walk, %u vm dispatch%s, %u vm chunk%s\n",
+                  interp::engineName(Engine), ParStats.VmLoopsCompiled,
+                  ParStats.VmLoopsCompiled == 1 ? "" : "s",
+                  ParStats.VmBailouts, ParStats.VmBailouts == 1 ? "" : "s",
+                  ParStats.VmParallelLoopRuns,
+                  ParStats.VmParallelLoopRuns == 1 ? "" : "es",
+                  ParStats.VmChunksRun, ParStats.VmChunksRun == 1 ? "" : "s");
+      if (Engine == interp::ExecEngine::Both)
+        std::printf("engine (both): %u differential comparison%s, "
+                    "%u mismatch%s\n",
+                    ParStats.BothComparisons,
+                    ParStats.BothComparisons == 1 ? "" : "s",
+                    ParStats.BothMismatches,
+                    ParStats.BothMismatches == 1 ? "" : "es");
+    }
     if (Locality != sched::LocalityMode::Off) {
       std::printf("locality (%s): %u model pick%s, %u reorder%s built, "
                   "%u cached\n",

@@ -17,9 +17,12 @@
 #include "support/Statistic.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "vm/Compiler.h"
+#include "vm/Vm.h"
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,6 +67,47 @@ static ::iaa::stat::Statistic dispatch_conditional(
 static ::iaa::stat::Statistic dispatch_serial(
     "dispatch", "dispatch_serial",
     "Invocations executed serially without consulting an inspector");
+static ::iaa::stat::Statistic dispatch_replay(
+    "dispatch", "dispatch_replay",
+    "Invocations that dispatched parallel, faulted, and were serially "
+    "replayed after rollback (counted here, not in their original tier)");
+
+// Bytecode-VM engine counters (--stats group "vm").
+static ::iaa::stat::Statistic vm_loops_compiled(
+    "vm", "vm_loops_compiled",
+    "Distinct loops lowered to register bytecode");
+static ::iaa::stat::Statistic vm_bailouts(
+    "vm", "vm_bailouts",
+    "Distinct loops the bytecode compiler bailed on (tree-walk fallback)");
+static ::iaa::stat::Statistic vm_parallel_loop_runs(
+    "vm", "vm_parallel_loop_runs",
+    "Parallel loop invocations executed on the bytecode VM");
+static ::iaa::stat::Statistic vm_chunks_run(
+    "vm", "vm_chunks_run", "Iteration chunks executed as bytecode");
+
+const char *iaa::interp::engineName(ExecEngine E) {
+  switch (E) {
+  case ExecEngine::Interp:
+    return "interp";
+  case ExecEngine::Vm:
+    return "vm";
+  case ExecEngine::Both:
+    return "both";
+  }
+  return "?";
+}
+
+bool iaa::interp::parseEngine(const std::string &Name, ExecEngine &Out) {
+  if (Name == "interp")
+    Out = ExecEngine::Interp;
+  else if (Name == "vm")
+    Out = ExecEngine::Vm;
+  else if (Name == "both")
+    Out = ExecEngine::Both;
+  else
+    return false;
+  return true;
+}
 
 namespace {
 
@@ -461,6 +505,36 @@ private:
     Stats->FaultRemarks.push_back(std::move(R));
   }
 
+  /// Returns the bytecode program for \p DS under --engine=vm, or null when
+  /// the loop must stay on the tree walk. Compilation happens once per loop
+  /// per run and is memoized — including bailouts, so a rejected loop pays
+  /// the compile attempt only once. The pipeline's structural pre-check
+  /// (LoopPlan::VmBailout) short-circuits loops it already rejected.
+  const vm::LoopProgram *vmProgramFor(const DoStmt *DS,
+                                      const xform::LoopPlan *Plan) {
+    if (Opts.Engine != ExecEngine::Vm)
+      return nullptr;
+    auto It = VmCache.find(DS);
+    if (It == VmCache.end()) {
+      vm::CompileResult R;
+      if (Plan && !Plan->VmEligible && !Plan->VmBailout.empty())
+        R.Bailout = Plan->VmBailout;
+      else
+        R = vm::compileLoop(DS, DimExtents);
+      It = VmCache.emplace(DS, std::move(R)).first;
+      if (It->second.Ok) {
+        ++vm_loops_compiled;
+        if (Stats)
+          ++Stats->VmLoopsCompiled;
+      } else {
+        ++vm_bailouts;
+        if (Stats)
+          ++Stats->VmBailouts;
+      }
+    }
+    return It->second.Ok ? &It->second.Prog : nullptr;
+  }
+
   Buffer &bufferFor(const Symbol *S, Frame &F) {
     if (F.Overrides) {
       auto It = F.Overrides->find(S->id());
@@ -827,12 +901,18 @@ private:
       fault(FaultKind::BadStep, DS->loc(), F, "do loop with zero step",
             DS->indexVar(), /*HasValue=*/true, /*Value=*/0);
 
-    bool Timed = !DS->label().empty() && Stats && !F.InParallel;
+    // A serial replay is accounting-invisible for nested loops: the outer
+    // invocation already owns the wall time, the dispatch tier, and the
+    // profiling record (attributed as a replay), so nested loops executed
+    // during the replay must not re-time, re-count, re-profile — or
+    // re-fork; the replay's contract is faithful serial re-execution.
+    bool Timed = !DS->label().empty() && Stats && !F.InParallel &&
+                 !F.InReplay;
     Timer LoopTimer;
     double AdjustAtEntry = VirtualAdjust;
 
     const xform::LoopPlan *Plan = nullptr;
-    if (!F.InParallel && Opts.Plans &&
+    if (!F.InParallel && !F.InReplay && Opts.Plans &&
         (Opts.Threads > 1 || Opts.RaceCheck) && Step == 1)
       Plan = Opts.Plans->planFor(DS);
     int64_t NIter = Step > 0 ? (Up - Lo) / Step + 1 : (Lo - Up) / (-Step) + 1;
@@ -841,7 +921,7 @@ private:
 
     // Profiling scope for labeled serial-context loops: opens a recorder
     // in the session, finalized (even on unwinding) at scope exit.
-    ProfScope PS(*this, F, DS, F.InParallel, Lo, Up, NIter);
+    ProfScope PS(*this, F, DS, F.InParallel || F.InReplay, Lo, Up, NIter);
     prof::LoopRecorder *Rec = PS.Rec;
 
     // Inspector/executor: a statically-serial loop carrying a
@@ -885,7 +965,7 @@ private:
 
     if (!Plan || NIter < 2 ||
         satMul(NIter, bodyWeight(DS)) < Opts.MinParallelWork) {
-      if (!F.InParallel) {
+      if (!F.InParallel && !F.InReplay) {
         if (CondInspected) {
           ++dispatch_conditional;
           if (Stats)
@@ -924,15 +1004,30 @@ private:
     }
 
     // --- Parallel execution.
-    if (CondInspected) {
-      ++dispatch_conditional;
-      if (Stats)
-        ++Stats->DispatchConditional;
-    } else {
-      ++dispatch_static;
-      if (Stats)
-        ++Stats->DispatchStatic;
-    }
+    // Tier accounting is deferred until the invocation's outcome is known:
+    // a dispatch that faults and is serially replayed belongs to the
+    // replay tier, not its original parallel tier — one tier per
+    // invocation (Statistic has no decrement, so count late rather than
+    // retract).
+    bool DispatchCounted = false;
+    auto CountDispatch = [&](bool Replayed) {
+      if (DispatchCounted)
+        return;
+      DispatchCounted = true;
+      if (Replayed) {
+        ++dispatch_replay;
+        if (Stats)
+          ++Stats->DispatchReplay;
+      } else if (CondInspected) {
+        ++dispatch_conditional;
+        if (Stats)
+          ++Stats->DispatchConditional;
+      } else {
+        ++dispatch_static;
+        if (Stats)
+          ++Stats->DispatchStatic;
+      }
+    };
     if (Stats)
       ++Stats->ParallelLoopRuns;
     ++interp_parallel_loop_runs;
@@ -962,9 +1057,20 @@ private:
     if (CondInspected && Opts.Locality == sched::LocalityMode::Reorder)
       Order = reorderPlanFor(DS, *Plan, Lo, Up);
 
+    // Engine selection: under --engine=vm a compiled program runs the
+    // chunks as register bytecode; a bailout (or interp engine) keeps the
+    // tree walk. Everything around the chunk body is engine-agnostic.
+    const vm::LoopProgram *VmProg = vmProgramFor(DS, Plan);
+    if (VmProg) {
+      ++vm_parallel_loop_runs;
+      if (Stats)
+        ++Stats->VmParallelLoopRuns;
+    }
+
     if (Rec) {
       Rec->Kind = CondInspected ? prof::DispatchKind::CondParallel
                                 : prof::DispatchKind::Parallel;
+      Rec->Engine = VmProg ? "vm" : "interp";
       Rec->Threads = T;
       Rec->Schedule = scheduleName(Sch);
       Rec->Locality = sched::localityModeName(Opts.Locality);
@@ -1050,26 +1156,41 @@ private:
         BuildPrivates(W);
         WS.Ran = true;
       }
-      Frame FW;
-      FW.Overrides = &WS.Overrides;
-      FW.InParallel = true;
-      FW.CurLoop = DS;
-      FW.Worker = W;
-      FW.ProfSkip = WS.ProfSkip;
       // Under a locality reorder the dispenser hands out *positions*; the
       // permutation maps each to the original iteration it executes. The
       // permutation pins original Up to the last position, so the worker
       // holding the final chunk runs Up temporally last — last-value
       // semantics survive (see interp::buildIterationReorder).
-      for (int64_t Pos = First; Pos <= Last; ++Pos) {
-        int64_t I = Order ? (*Order)[size_t(Pos - Lo)] : Pos;
-        FW.CurIter = I;
-        checkInjection(DS, I, FW);
-        setScalar(DS->indexVar(), I, FW);
-        execBody(DS->body(), FW);
-        MaxIter = std::max(MaxIter, I);
+      if (VmProg) {
+        vm::ChunkContext VC;
+        VC.Mem = &Mem;
+        VC.Overrides = &WS.Overrides;
+        VC.Order = Order.get();
+        VC.Lo = Lo;
+        VC.First = First;
+        VC.Last = Last;
+        VC.Worker = W;
+        VC.Injector = Opts.Injector;
+        VC.Rec = ProfCur;
+        VC.ProfSkip = &WS.ProfSkip;
+        MaxIter = std::max(MaxIter, vm::runChunk(*VmProg, VC));
+      } else {
+        Frame FW;
+        FW.Overrides = &WS.Overrides;
+        FW.InParallel = true;
+        FW.CurLoop = DS;
+        FW.Worker = W;
+        FW.ProfSkip = WS.ProfSkip;
+        for (int64_t Pos = First; Pos <= Last; ++Pos) {
+          int64_t I = Order ? (*Order)[size_t(Pos - Lo)] : Pos;
+          FW.CurIter = I;
+          checkInjection(DS, I, FW);
+          setScalar(DS->indexVar(), I, FW);
+          execBody(DS->body(), FW);
+          MaxIter = std::max(MaxIter, I);
+        }
+        WS.ProfSkip = FW.ProfSkip;
       }
-      WS.ProfSkip = FW.ProfSkip;
       double Secs = CT.seconds();
       if (Rec)
         Rec->noteChunk(W, ChunkId, First, Last, ProfStartUs, Secs * 1e6);
@@ -1157,6 +1278,11 @@ private:
 
     unsigned ChunksRun = Disp.chunksDispensed();
     interp_chunks_run += ChunksRun;
+    if (VmProg) {
+      vm_chunks_run += ChunksRun;
+      if (Stats)
+        Stats->VmChunksRun += ChunksRun;
+    }
     if (Stats) {
       Stats->ChunksRun += ChunksRun;
       for (const WorkerState &WS : Workers) {
@@ -1176,19 +1302,24 @@ private:
       if (Stats)
         Stats->WorkerFaults += NFaults;
       RuntimeFault First = std::move(*Faults.First);
-      if (!Transactional)
+      if (!Transactional) {
         // Abort: no snapshot exists, shared state is possibly torn.
         // Propagate and let the driver decide whether to kill the process.
+        CountDispatch(false);
         throw FaultException(std::move(First));
+      }
 
-      // Roll the transaction back: restore every MAY-written buffer and
-      // bump its version past the snapshot's, so inspector verdicts keyed
-      // on the aborted loop's index-array contents are invalidated.
+      // Roll the transaction back: restore every MAY-written buffer,
+      // version counter included. The restored bytes are exactly the
+      // pre-loop bytes, so inspector verdicts and locality permutations
+      // cached against the snapshot version are still valid — bumping the
+      // version here would spuriously re-run inspections after every
+      // recovered fault.
       Timer RollbackTimer;
       for (auto &[S, Buf] : Snapshot) {
         uint64_t V = Buf.Version;
         Mem.buffer(S) = std::move(Buf);
-        Mem.buffer(S).Version = V + 1;
+        Mem.buffer(S).Version = V;
       }
       if (Rec)
         Rec->RollbackUs += RollbackTimer.seconds() * 1e6;
@@ -1201,6 +1332,7 @@ private:
         if (Rec)
           Rec->Detail = "worker fault: rolled back, reported";
         addFaultRemark(DS, First, "rolled back, reported", nullptr);
+        CountDispatch(false);
         throw FaultException(std::move(First));
       }
 
@@ -1213,6 +1345,12 @@ private:
       ++interp_fault_replays;
       if (Stats)
         ++Stats->FaultReplays;
+      // One invocation, one tier: the faulted parallel attempt is subsumed
+      // by the replay — counting it in its original tier too would inflate
+      // the health-report dispatch totals past the invocation count.
+      CountDispatch(/*Replayed=*/true);
+      if (Rec)
+        Rec->Kind = prof::DispatchKind::Replay;
       Frame FR = F;
       FR.InReplay = true;
       FR.CurLoop = DS;
@@ -1245,6 +1383,8 @@ private:
             LoopTimer.seconds() - (VirtualAdjust - AdjustAtEntry);
       return;
     }
+
+    CountDispatch(false);
 
     // Merge reductions: global += sum of partials of the workers that ran.
     for (const Symbol *S : Plan->Reductions) {
@@ -1553,6 +1693,9 @@ private:
   FaultState &FS;
   std::vector<std::vector<int64_t>> DimExtents;
   std::map<const DoStmt *, int64_t> BodyWeights;
+  /// Memoized bytecode compilations (successes and bailouts) under
+  /// --engine=vm; keyed per loop, like the other per-loop caches.
+  std::map<const DoStmt *, vm::CompileResult> VmCache;
 
   /// Cached inspection verdict for one runtime-conditional loop, valid
   /// while the bounds and every inspected array's version are unchanged.
@@ -1605,6 +1748,56 @@ private:
 } // namespace
 
 Memory Interpreter::run(const ExecOptions &Opts, ExecStats *Stats) {
+  if (Opts.Engine == ExecEngine::Both) {
+    // Differential oracle: run the whole program on the reference tree walk
+    // first (unprofiled — observation belongs to the engine under test),
+    // then on the VM engine with the caller's stats, and demand agreement.
+    ExecOptions RefOpts = Opts;
+    RefOpts.Engine = ExecEngine::Interp;
+    RefOpts.Prof = nullptr;
+    ExecStats RefStats;
+    Memory RefMem = run(RefOpts, &RefStats);
+    FaultState RefFault = LastFault;
+
+    ExecOptions VmOpts = Opts;
+    VmOpts.Engine = ExecEngine::Vm;
+    Memory VmMem = run(VmOpts, Stats);
+
+    if (Stats)
+      ++Stats->BothComparisons;
+    std::string Why;
+    if (RefFault.Faulted || LastFault.Faulted) {
+      // A terminal fault leaves memory at the fault point, which legally
+      // differs across engines (chunk interleavings); the contract there
+      // is agreement on the fault *kind* only.
+      if (RefFault.Faulted != LastFault.Faulted)
+        Why = std::string("terminal fault on ") +
+              (RefFault.Faulted ? "interp" : "vm") + " engine only";
+      else if (RefFault.Fault.Kind != LastFault.Fault.Kind)
+        Why = std::string("fault kind interp=") +
+              faultKindName(RefFault.Fault.Kind) +
+              " vm=" + faultKindName(LastFault.Fault.Kind);
+    } else {
+      std::set<unsigned> Dead =
+          Opts.Plans ? deadPrivateIds(*Opts.Plans) : std::set<unsigned>{};
+      double A = RefMem.checksumExcluding(Dead);
+      double B = VmMem.checksumExcluding(Dead);
+      if (std::memcmp(&A, &B, sizeof(double)) != 0)
+        Why = "final-memory checksum interp=" + std::to_string(A) +
+              " vm=" + std::to_string(B);
+    }
+    if (!Why.empty()) {
+      if (Stats)
+        ++Stats->BothMismatches;
+      LastFault.Faulted = true;
+      ++LastFault.FaultsObserved;
+      LastFault.Fault = RuntimeFault{};
+      LastFault.Fault.Kind = FaultKind::Internal;
+      LastFault.Fault.Detail = "engine divergence: " + Why;
+    }
+    return VmMem;
+  }
+
   trace::TraceScope Span("interp-run", "interp");
   Span.arg("threads", std::to_string(Opts.Threads));
   Span.arg("mode", Opts.Simulate ? "simulate" : "threaded");

@@ -101,6 +101,24 @@ private:
 /// (privatized arrays of parallel loops).
 std::set<unsigned> deadPrivateIds(const xform::PipelineResult &Plans);
 
+/// Which engine executes the bodies of parallel-dispatched loops. Serial
+/// code, serial fallbacks, race-checked loops, and fault replays always run
+/// on the tree-walking interpreter — it is the semantic reference.
+enum class ExecEngine {
+  Interp, ///< Tree-walk everything (the reference engine).
+  Vm,     ///< Parallel chunks run compiled register bytecode (vm/Vm.h);
+          ///< loops the bytecode compiler bails on fall back to the
+          ///< tree walk per loop.
+  Both,   ///< Differential oracle: run the whole program twice — once per
+          ///< engine — and compare final-memory checksums (or fault kinds
+          ///< when a run faults terminally). A divergence is reported as
+          ///< an Internal fault. Returns the VM run's memory.
+};
+
+const char *engineName(ExecEngine E);
+/// Parses "interp" / "vm" / "both"; returns false on anything else.
+bool parseEngine(const std::string &Name, ExecEngine &Out);
+
 /// Execution options.
 struct ExecOptions {
   /// Parallel plans; null runs everything serially.
@@ -147,8 +165,10 @@ struct ExecOptions {
   /// every parallel (or runtime-conditional) dispatch snapshots the loop's
   /// MAY-written shared buffers first; a worker fault is trapped locally,
   /// published first-fault-wins, cancels the chunk dispenser, and after the
-  /// join the snapshot is rolled back (bumping each restored buffer's
-  /// Version so inspector verdict caches invalidate). Replay additionally
+  /// join the snapshot is rolled back — contents *and* version counters,
+  /// since the restored bytes are exactly the pre-loop bytes, so inspector
+  /// verdicts and locality permutations cached against them stay valid.
+  /// Replay additionally
   /// re-executes the loop serially: it either reproduces the fault with
   /// exact serial attribution or completes correctly when the fault was an
   /// artifact of parallel execution. Abort skips the snapshot and
@@ -174,6 +194,11 @@ struct ExecOptions {
   /// session. Observation only: program results are bit-identical with
   /// profiling on or off.
   prof::Session *Prof = nullptr;
+  /// Engine for parallel-dispatched loop bodies (see ExecEngine). Interp
+  /// is the reference tree walk; Vm lowers eligible certified loops to
+  /// register bytecode (bailing back to the tree walk per loop); Both runs
+  /// the program on each engine and checks bit-identical results.
+  ExecEngine Engine = ExecEngine::Interp;
 };
 
 /// Classification of one dynamically observed cross-iteration conflict.
@@ -236,13 +261,17 @@ struct ExecStats {
   unsigned RacesFound = 0;
 
   /// Per-loop dispatch tier over serial-context loop invocations (the
-  /// --stats "dispatch" group mirrors these as global counters). The three
-  /// tiers partition every dispatch decision: static (parallel on a static
-  /// proof, no inspection), conditional (decided by the runtime-check
-  /// inspector, whichever way it fell), serial (no inspector consulted).
+  /// --stats "dispatch" group mirrors these as global counters). The four
+  /// tiers partition every dispatch decision — one tier per invocation:
+  /// static (parallel on a static proof, no inspection), conditional
+  /// (decided by the runtime-check inspector, whichever way it fell),
+  /// serial (no inspector consulted), replay (dispatched parallel but
+  /// faulted, rolled back, and serially replayed — the replay's nested
+  /// loops and the original parallel tier are *not* double-counted).
   unsigned DispatchStatic = 0;
   unsigned DispatchConditional = 0;
   unsigned DispatchSerial = 0;
+  unsigned DispatchReplay = 0;
 
   /// Inspector/executor runtime checks (ExecOptions::RuntimeChecks).
   unsigned InspectionsRun = 0;    ///< Fresh O(n) inspections executed.
@@ -273,6 +302,19 @@ struct ExecStats {
   /// stating the trapped fault and whether the serial replay recovered or
   /// reproduced it.
   std::vector<Remark> FaultRemarks;
+
+  /// Bytecode VM engine (ExecOptions::Engine == Vm or Both).
+  unsigned VmLoopsCompiled = 0; ///< Distinct loops lowered to bytecode.
+  unsigned VmBailouts = 0; ///< Distinct loops the VM compiler rejected
+                           ///< (they stay on the tree walk).
+  unsigned VmParallelLoopRuns = 0; ///< Parallel invocations executed on
+                                   ///< the VM (subset of ParallelLoopRuns).
+  unsigned VmChunksRun = 0; ///< Chunks executed as bytecode.
+  /// Differential oracle (Engine == Both): whole-program interp-vs-VM
+  /// comparisons made and how many diverged (a divergence also surfaces as
+  /// an Internal fault in Interpreter::faultState).
+  unsigned BothComparisons = 0;
+  unsigned BothMismatches = 0;
 };
 
 /// Runs \p P (starting at "main") against fresh memory; returns the final

@@ -97,6 +97,8 @@ const char *iaa::prof::dispatchKindName(DispatchKind K) {
     return "conditional-parallel";
   case DispatchKind::CondSerial:
     return "conditional-serial";
+  case DispatchKind::Replay:
+    return "replay";
   }
   return "serial";
 }
@@ -151,6 +153,7 @@ std::string LoopProfile::jsonLine() const {
                     ", \"dispatch\": " +
                     json::str(dispatchKindName(Kind)) +
                     ", \"detail\": " + json::str(Detail) +
+                    ", \"engine\": " + json::str(Engine) +
                     ", \"lo\": " + std::to_string(Lo) +
                     ", \"up\": " + std::to_string(Up) +
                     ", \"niter\": " + std::to_string(NIter) +
@@ -201,7 +204,8 @@ std::string LoopHealth::jsonLine() const {
          ", \"sampled\": " + std::to_string(SampledAccesses) +
          ", \"dispatch\": {\"static\": " + std::to_string(DispatchStatic) +
          ", \"conditional\": " + std::to_string(DispatchConditional) +
-         ", \"serial\": " + std::to_string(DispatchSerial) + "}}";
+         ", \"serial\": " + std::to_string(DispatchSerial) +
+         ", \"replay\": " + std::to_string(DispatchReplay) + "}}";
 }
 
 std::string LoopHealth::str() const {
@@ -215,8 +219,9 @@ std::string LoopHealth::str() const {
   std::string Out = Buf;
   std::snprintf(Buf, sizeof(Buf),
                 "             dispatch: static %u / conditional %u / "
-                "serial %u\n",
-                DispatchStatic, DispatchConditional, DispatchSerial);
+                "serial %u / replay %u\n",
+                DispatchStatic, DispatchConditional, DispatchSerial,
+                DispatchReplay);
   Out += Buf;
   if (!Why.empty())
     Out += "             why: " + Why + "\n";
@@ -300,6 +305,13 @@ void Session::endLoop(LoopRecorder *R) {
   case DispatchKind::Serial:
     ++Agg.TierSerial;
     break;
+  case DispatchKind::Replay:
+    // The invocation did dispatch in parallel before the fault; it counts
+    // in the replay tier only (one tier per invocation), but the label
+    // still reads as parallelized in the verdict.
+    Agg.SawParallel = true;
+    ++Agg.TierReplay;
+    break;
   }
   if (!R->Detail.empty())
     Agg.Detail = R->Detail;
@@ -315,6 +327,7 @@ void Session::endLoop(LoopRecorder *R) {
   P.Invocation = R->Invocation;
   P.Kind = R->Kind;
   P.Detail = R->Detail;
+  P.Engine = R->Engine;
   P.Lo = R->Lo;
   P.Up = R->Up;
   P.NIter = R->NIter;
@@ -417,7 +430,13 @@ void Session::endLoop(LoopRecorder *R) {
       T.Chunks = W.Chunks;
       T.BusyUs = W.BusyUs;
       T.FootprintLines = WLines[WId];
-      T.DispatchUs = W.FirstStartUs < 0 ? 0 : W.FirstStartUs;
+      // Clamp into [0, wall]: a worker whose first poll raced the
+      // dispenser's cancellation (fault drain) can report a first-chunk
+      // start at — or, with clock skew, fractionally past — the loop's
+      // recorded wall time, which would otherwise push the derived stall
+      // interval negative.
+      T.DispatchUs =
+          W.FirstStartUs < 0 ? 0 : std::min(W.FirstStartUs, WallUs);
       T.StallUs = std::max(0.0, WallUs - T.DispatchUs - T.BusyUs);
       T.FirstIter = W.FirstIter == INT64_MAX ? 0 : W.FirstIter;
       T.LastIter = W.LastIter == INT64_MIN ? 0 : W.LastIter;
@@ -512,9 +531,14 @@ std::vector<LoopHealth> Session::health(const xform::PipelineResult *Plans) {
     H.Recorded = Agg.Recorded;
     H.ThreadsMax = Agg.ThreadsMax;
     H.LocalityScore = Agg.Hist.localityScore();
+    // Clamped at zero: when a fault cancels the dispenser before some
+    // workers' first poll, the surviving busy intervals can be degenerate
+    // (zero-length) and floating-point noise would otherwise let the ratio
+    // dip fractionally below 1 — a negative imbalance is meaningless.
     H.ImbalancePct =
         Agg.AvgBusySumUs > 0
-            ? (Agg.MaxBusySumUs / Agg.AvgBusySumUs - 1.0) * 100.0
+            ? std::max(0.0,
+                       (Agg.MaxBusySumUs / Agg.AvgBusySumUs - 1.0) * 100.0)
             : 0.0;
     H.AnalysisPct = Agg.WallUs > 0 ? Agg.AnalysisUs / Agg.WallUs * 100.0 : 0.0;
     H.WallUs = Agg.WallUs;
@@ -524,6 +548,7 @@ std::vector<LoopHealth> Session::health(const xform::PipelineResult *Plans) {
     H.DispatchStatic = Agg.TierStatic;
     H.DispatchConditional = Agg.TierConditional;
     H.DispatchSerial = Agg.TierSerial;
+    H.DispatchReplay = Agg.TierReplay;
     Out.push_back(std::move(H));
   }
   return Out;

@@ -126,6 +126,9 @@ enum class DispatchKind {
   Parallel,     ///< Statically-certified parallel dispatch.
   CondParallel, ///< Runtime-conditional plan; inspection passed.
   CondSerial,   ///< Runtime-conditional plan; inspection failed.
+  Replay,       ///< Dispatched parallel, trapped a worker fault, rolled
+                ///< back, and re-executed serially. One invocation, one
+                ///< tier: the original parallel tier is not also counted.
 };
 
 const char *dispatchKindName(DispatchKind K);
@@ -180,6 +183,7 @@ struct LoopProfile {
   unsigned Invocation = 0; ///< 0-based per-label invocation number.
   DispatchKind Kind = DispatchKind::Serial;
   std::string Detail; ///< Failing check, fault note, ... (may be empty).
+  std::string Engine = "interp"; ///< "interp" or "vm" (see LoopRecorder).
   int64_t Lo = 0, Up = 0, NIter = 0;
   unsigned Threads = 1;
   std::string Schedule;
@@ -219,10 +223,13 @@ struct LoopHealth {
   /// Invocation counts by dispatch tier: static (parallel on a static
   /// proof, no inspection), conditional (inspector decided, pass or fail),
   /// serial (no plan, or the profitability guard kept a planned loop
-  /// serial). The three counts sum to Invocations.
+  /// serial), replay (faulted in parallel, rolled back, serially
+  /// replayed). One tier per invocation: the four counts sum to
+  /// Invocations.
   unsigned DispatchStatic = 0;
   unsigned DispatchConditional = 0;
   unsigned DispatchSerial = 0;
+  unsigned DispatchReplay = 0;
 
   std::string str() const;
   std::string jsonLine() const;
@@ -327,6 +334,10 @@ public:
   /// Dispatch context, filled in by the interpreter as decisions fall.
   DispatchKind Kind = DispatchKind::Serial;
   std::string Detail;
+  /// Execution engine of the loop body ("interp" tree walk or "vm"
+  /// register bytecode). VM loops have no AST frames, so this is how
+  /// profiles stay attributable to an engine.
+  std::string Engine = "interp";
   unsigned Threads = 1;
   std::string Schedule;
   std::string Locality;
@@ -460,9 +471,10 @@ private:
     uint64_t WorkerLines = 0;
     bool SawParallel = false, SawCondPass = false, SawCondFail = false,
          SawSerialSmall = false;
-    /// Invocation counts by dispatch tier (static / conditional / serial;
-    /// see LoopHealth).
-    unsigned TierStatic = 0, TierConditional = 0, TierSerial = 0;
+    /// Invocation counts by dispatch tier (static / conditional / serial /
+    /// replay; see LoopHealth — one tier per invocation).
+    unsigned TierStatic = 0, TierConditional = 0, TierSerial = 0,
+             TierReplay = 0;
     std::string Detail;
   };
 

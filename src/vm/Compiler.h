@@ -1,0 +1,58 @@
+//===- vm/Compiler.h - AST-to-bytecode lowering for loop plans --*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the body of a certified do loop to register bytecode
+/// (vm/Bytecode.h). The compiler is deliberately conservative: anything it
+/// cannot lower with bit-identical semantics — while loops, unresolved or
+/// recursive calls, mod on real operands, non-integer index variables —
+/// is a *bailout*, and the loop keeps running on the tree-walking
+/// interpreter. Bailing out is always correct; compiling is only a speed
+/// change, never a semantic one (the differential oracle in --engine=both
+/// enforces exactly that).
+///
+/// structuralBailout() is the extent-free subset of the bailout taxonomy,
+/// usable at pipeline time (xform marks LoopPlan::VmEligible with it);
+/// compileLoop() is authoritative and can still bail on run-resolved facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_VM_COMPILER_H
+#define IAA_VM_COMPILER_H
+
+#include "vm/Bytecode.h"
+
+#include <string>
+#include <vector>
+
+namespace iaa {
+namespace vm {
+
+/// Outcome of one lowering attempt: a runnable program, or the reason the
+/// loop must stay on the interpreter.
+struct CompileResult {
+  bool Ok = false;
+  LoopProgram Prog;
+  std::string Bailout; ///< Why the loop cannot lower (empty when Ok).
+};
+
+/// Purely structural pre-check of the bailout taxonomy (no extents needed):
+/// returns the first reason \p DS cannot lower, or null when the body looks
+/// compilable. Used by the pipeline to mark plan eligibility; the compiler
+/// below remains authoritative.
+const char *structuralBailout(const mf::DoStmt *DS);
+
+/// Lowers the body of \p DS against \p DimExtents (per-symbol declared
+/// extents resolved to run constants, indexed by symbol id — the same table
+/// the interpreter's subscript linearization uses).
+CompileResult compileLoop(const mf::DoStmt *DS,
+                          const std::vector<std::vector<int64_t>> &DimExtents);
+
+} // namespace vm
+} // namespace iaa
+
+#endif // IAA_VM_COMPILER_H

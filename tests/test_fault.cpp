@@ -25,6 +25,7 @@
 
 #include "interp/Fault.h"
 #include "interp/Interpreter.h"
+#include "prof/Profiler.h"
 #include "verify/FaultInjector.h"
 #include "verify/PlanMutator.h"
 #include "xform/Parallelizer.h"
@@ -468,6 +469,139 @@ TEST(FaultSweep, AbortModePropagatesWithoutRollback) {
         << scheduleName(S) << ": abort mode must not snapshot or roll back";
     EXPECT_EQ(FS.Replays, 0u) << scheduleName(S);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Stale-state regression pins
+//===----------------------------------------------------------------------===//
+
+TEST(FaultContain, RollbackPreservesInspectionCache) {
+  // Regression: rollback used to bump every restored buffer's version
+  // *past* the snapshot, although the restored bytes are exactly the
+  // pre-loop bytes. That spuriously invalidated inspection verdicts cached
+  // against those versions. The pin: `lp` MAY-writes ind (the guard never
+  // fires, so the replay's serial stores touch only x) and faults in
+  // parallel on both trips of the rep loop; the conditional scatter keyed
+  // on ind must inspect once and hit the cache on the second trip.
+  Harness H(R"(program t
+    integer r, i, n
+    integer ind(1000)
+    real x(1000)
+    n = 1000
+    fill: do i = 1, n
+      ind(i) = n + 1 - i
+      x(i) = i * 0.5
+    end do
+    rep: do r = 1, 2
+      lp: do i = 1, n
+        if (x(i) < 0.0) then
+          ind(i) = 1
+        end if
+        x(i) = x(i) + 1.0
+      end do
+      scat: do i = 1, n
+        x(ind(i)) = x(ind(i)) + 1.0
+      end do
+    end do
+  end)");
+  const xform::LoopReport *Lp = H.Plan.reportFor("lp");
+  ASSERT_NE(Lp, nullptr);
+  ASSERT_TRUE(Lp->Parallel) << Lp->WhyNot;
+  const xform::LoopReport *Scat = H.Plan.reportFor("scat");
+  ASSERT_NE(Scat, nullptr);
+  ASSERT_TRUE(Scat->RuntimeConditional) << Scat->WhyNot;
+  double Want = H.serialChecksum();
+
+  verify::FaultInjector Inj;
+  Inj.faultAt("lp", 500, /*ParallelOnly=*/true);
+  Interpreter I(*H.P);
+  ExecOptions Opts;
+  Opts.Plans = &H.Plan;
+  Opts.Threads = 4;
+  Opts.MinParallelWork = 0;
+  Opts.RuntimeChecks = true;
+  Opts.Injector = &Inj;
+  ExecStats Stats;
+  Memory M = I.run(Opts, &Stats);
+  const FaultState &FS = I.faultState();
+  EXPECT_FALSE(FS.Faulted) << FS.str();
+  EXPECT_EQ(FS.Rollbacks, 2u) << "lp faults and recovers on both trips";
+  EXPECT_EQ(FS.ReplaysRecovered, 2u);
+  EXPECT_EQ(M.checksumExcluding(deadPrivateIds(H.Plan)), Want);
+  // ind was never actually written after fill, so the scatter's verdict
+  // from trip 1 is still valid on trip 2 — the rollbacks in between must
+  // not have disturbed ind's version.
+  EXPECT_EQ(Stats.InspectionsRun, 1u)
+      << "rollback spuriously invalidated a cached inspection verdict";
+  EXPECT_EQ(Stats.InspectionsCached, 1u);
+}
+
+TEST(FaultContain, ReplayedInvocationCountsOneTier) {
+  // Regression: a faulted-then-replayed invocation used to count in its
+  // original dispatch tier *and* implicitly as the replay, so the health
+  // report's tier counts exceeded the invocation count. Pinned behavior:
+  // one tier per invocation, with the recovered invocation attributed to
+  // the replay tier.
+  Harness H(SharedScale);
+  verify::FaultInjector Inj;
+  Inj.faultAt("lp", 1000, /*ParallelOnly=*/true);
+  prof::Session Prof;
+  Interpreter I(*H.P);
+  ExecOptions Opts;
+  Opts.Plans = &H.Plan;
+  Opts.Threads = 4;
+  Opts.MinParallelWork = 0;
+  Opts.Injector = &Inj;
+  Opts.Prof = &Prof;
+  ExecStats Stats;
+  I.run(Opts, &Stats);
+  ASSERT_FALSE(I.faultState().Faulted) << I.faultState().str();
+  ASSERT_EQ(I.faultState().ReplaysRecovered, 1u);
+  // init dispatched statically; lp's only invocation is the replay.
+  EXPECT_EQ(Stats.DispatchStatic, 1u) << "faulted invocation re-counted in "
+                                         "its original tier";
+  EXPECT_EQ(Stats.DispatchReplay, 1u);
+  EXPECT_EQ(Stats.DispatchConditional, 0u);
+  EXPECT_EQ(Stats.DispatchSerial, 0u);
+
+  Prof.finalizeAnalysis();
+  bool Saw = false;
+  for (const prof::LoopHealth &LH : Prof.health(&H.Plan)) {
+    EXPECT_EQ(LH.DispatchStatic + LH.DispatchConditional + LH.DispatchSerial +
+                  LH.DispatchReplay,
+              LH.Invocations)
+        << LH.Label << ": tiers must sum to invocations";
+    if (LH.Label == "lp") {
+      Saw = true;
+      EXPECT_EQ(LH.Invocations, 1u);
+      EXPECT_EQ(LH.DispatchReplay, 1u);
+      EXPECT_EQ(LH.DispatchStatic, 0u);
+      EXPECT_EQ(LH.Verdict, "parallelized")
+          << "a recovered fault must not demote the verdict";
+    }
+  }
+  EXPECT_TRUE(Saw);
+}
+
+TEST(FaultContain, ReportedFaultStillCountsItsTier) {
+  // Counterpart pin for the deferred tier accounting: under report mode
+  // there is no replay, so the faulted invocation stays in the tier it
+  // dispatched under.
+  Harness H(SharedScale);
+  verify::FaultInjector Inj;
+  Inj.faultAt("lp", 1000);
+  Interpreter I(*H.P);
+  ExecOptions Opts;
+  Opts.Plans = &H.Plan;
+  Opts.Threads = 4;
+  Opts.MinParallelWork = 0;
+  Opts.OnFault = FaultAction::Report;
+  Opts.Injector = &Inj;
+  ExecStats Stats;
+  I.run(Opts, &Stats);
+  ASSERT_TRUE(I.faultState().Faulted);
+  EXPECT_EQ(Stats.DispatchStatic, 2u) << "init and the faulted lp dispatch";
+  EXPECT_EQ(Stats.DispatchReplay, 0u);
 }
 
 //===----------------------------------------------------------------------===//

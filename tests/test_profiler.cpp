@@ -23,6 +23,7 @@
 #include "interp/Interpreter.h"
 #include "prof/Profiler.h"
 #include "support/Json.h"
+#include "verify/FaultInjector.h"
 #include "xform/Parallelizer.h"
 
 #include <regex>
@@ -359,6 +360,57 @@ TEST(ProfilerDispatch, InvocationCapDemotesToLightRecords) {
       EXPECT_EQ(LH.Recorded, 32u);
     }
   EXPECT_TRUE(Saw);
+}
+
+TEST(ProfilerDispatch, CancelledDrainClampsTimelineAndImbalance) {
+  // Regression: when a worker's first dynamic poll found the dispenser
+  // already cancelled (a sibling faulted immediately), its timeline
+  // recorded a zero-chunk lane whose dispatch span could exceed the loop
+  // wall, driving StallUs and the aggregated imbalance percentage
+  // negative. Single-iteration dynamic chunks with an every-iteration
+  // parallel-only fault make the cancelled-drain path all but certain;
+  // the pinned invariants must hold regardless of which worker loses the
+  // race.
+  Profiled H(R"(program t
+    integer i, n
+    real x(2000)
+    n = 2000
+    init: do i = 1, n
+      x(i) = i * 0.5
+    end do
+    lp: do i = 1, n
+      x(i) = x(i) * 2.0 + 1.0
+    end do
+  end)");
+  verify::FaultInjector Inj;
+  Inj.faultAt("lp", verify::InjectionPoint::EveryIteration,
+              /*ParallelOnly=*/true);
+  for (int Round = 0; Round < 4; ++Round) {
+    Interpreter I(*H.P);
+    ExecOptions Opts;
+    Opts.Plans = &H.Plan;
+    Opts.Threads = 7;
+    Opts.Sched = Schedule::Dynamic;
+    Opts.ChunkSize = 1;
+    Opts.MinParallelWork = 0;
+    Opts.Injector = &Inj;
+    Opts.Prof = &H.S;
+    I.run(Opts);
+    ASSERT_FALSE(I.faultState().Faulted) << I.faultState().str();
+  }
+  H.S.finalizeAnalysis();
+  for (const prof::LoopProfile &LP : H.S.invocations()) {
+    if (LP.Label != "lp")
+      continue;
+    for (const prof::WorkerTimeline &W : LP.Workers) {
+      EXPECT_GE(W.DispatchUs, 0.0) << LP.Invocation << "/" << W.Worker;
+      EXPECT_LE(W.DispatchUs, LP.WallUs) << LP.Invocation << "/" << W.Worker
+                                         << ": dispatch span past loop wall";
+      EXPECT_GE(W.StallUs, 0.0) << LP.Invocation << "/" << W.Worker;
+    }
+  }
+  for (const prof::LoopHealth &LH : H.S.health(&H.Plan))
+    EXPECT_GE(LH.ImbalancePct, 0.0) << LH.Label;
 }
 
 //===----------------------------------------------------------------------===//

@@ -72,6 +72,7 @@
 #include "benchprogs/Benchmarks.h"
 #include "interp/Interpreter.h"
 #include "mf/Parser.h"
+#include "server/Watchdog.h"
 #include "prof/Profiler.h"
 #include "support/Remarks.h"
 #include "support/Timer.h"
@@ -99,6 +100,7 @@ static int usage() {
                "[--locality=off|model|reorder] "
                "[--audit=off|warn|strict] [--race-check] "
                "[--runtime-check[=on|off]] [--on-fault=abort|report|replay] "
+               "[--deadline-ms=N] [--mem-limit-mb=N] "
                "[--dump] [--annotate] [--stats] "
                "[--trace=FILE] [--remarks=FILE] [--profile[=FILE]]\n");
   return 2;
@@ -142,6 +144,8 @@ int main(int argc, char **argv) {
   bool RaceCheck = false;
   bool RuntimeChecks = false;
   interp::FaultAction OnFault = interp::FaultAction::Replay;
+  int64_t DeadlineMs = 0;  // 0 = untimed
+  int64_t MemLimitMb = 0;  // 0 = unlimited
   bool Dump = false;
   bool Annotate = false;
   bool Stats = false;
@@ -204,6 +208,16 @@ int main(int argc, char **argv) {
       if (!interp::parseFaultAction(Arg.substr(11), OnFault))
         return badValue("--on-fault", Arg.substr(11),
                         "abort, report, or replay");
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parseInt(Arg.substr(14), DeadlineMs) || DeadlineMs <= 0 ||
+          DeadlineMs > 86400000)
+        return badValue("--deadline-ms", Arg.substr(14),
+                        "a positive number of milliseconds (at most a day)");
+    } else if (Arg.rfind("--mem-limit-mb=", 0) == 0) {
+      if (!parseInt(Arg.substr(15), MemLimitMb) || MemLimitMb <= 0 ||
+          MemLimitMb > (int64_t(1) << 30))
+        return badValue("--mem-limit-mb", Arg.substr(15),
+                        "a positive number of megabytes");
     } else if (Arg == "--dump") {
       Dump = true;
     } else if (Arg == "--annotate") {
@@ -289,16 +303,26 @@ int main(int argc, char **argv) {
                   Demoted == 1 ? "" : "s");
   }
 
-  // Reports a run that ended on an unrecovered runtime fault. Exit code 4;
-  // under --on-fault=abort the process aborts instead (legacy behavior —
-  // the interpreter itself always unwinds cleanly, the abort is ours).
+  // Reports a run that ended on an unrecovered runtime fault. Exit code 4,
+  // except resource-limit faults, which get their own codes so scripts can
+  // tell "the program is wrong" from "the budget was wrong": 5 for a blown
+  // --deadline-ms, 6 for a blown --mem-limit-mb. Under --on-fault=abort the
+  // process aborts instead (legacy behavior — the interpreter itself always
+  // unwinds cleanly, the abort is ours).
   auto ReportFault = [&OnFault](const char *What,
                                 const interp::FaultState &FS) {
     std::fprintf(stderr, "mfpar: %s faulted: %s\n", What,
                  FS.Fault.str().c_str());
     if (OnFault == interp::FaultAction::Abort)
       std::abort();
-    return 4;
+    switch (FS.Fault.Kind) {
+    case interp::FaultKind::DeadlineExceeded:
+      return 5;
+    case interp::FaultKind::ResourceExhausted:
+      return 6;
+    default:
+      return 4;
+    }
   };
 
   if (RaceCheck) {
@@ -335,9 +359,21 @@ int main(int argc, char **argv) {
   }
 
   if (Run) {
+    // One wall-clock deadline covers the whole execution phase (serial +
+    // parallel), the same watchdog the daemon arms per request. The token
+    // is shared so a timer that fires during the serial run also cancels
+    // the parallel one.
+    auto Cancel = std::make_shared<interp::CancelToken>();
+    server::Watchdog Watch;
+    server::Watchdog::Scope Deadline(Watch, static_cast<uint64_t>(DeadlineMs),
+                                     Cancel);
+    size_t MemLimitBytes = static_cast<size_t>(MemLimitMb) << 20;
+
     interp::Interpreter I(*P);
     interp::ExecOptions Seq;
     Seq.OnFault = OnFault;
+    Seq.Cancel = Cancel.get();
+    Seq.MemLimitBytes = MemLimitBytes;
     interp::ExecStats SeqStats;
     interp::Memory Serial = I.run(Seq, &SeqStats);
     if (I.faultState().Faulted)
@@ -353,6 +389,8 @@ int main(int argc, char **argv) {
     Par.Engine = Engine;
     Par.RuntimeChecks = RuntimeChecks;
     Par.OnFault = OnFault;
+    Par.Cancel = Cancel.get();
+    Par.MemLimitBytes = MemLimitBytes;
     Par.Simulate = true; // Works on any host core count.
     if (Profile)
       Par.Prof = &ProfSession;

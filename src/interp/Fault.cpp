@@ -22,6 +22,8 @@ const char *interp::faultKindName(FaultKind K) {
   case FaultKind::Unsupported:    return "unsupported";
   case FaultKind::Injected:       return "injected";
   case FaultKind::Internal:       return "internal";
+  case FaultKind::DeadlineExceeded:  return "deadline-exceeded";
+  case FaultKind::ResourceExhausted: return "resource-exhausted";
   }
   return "?";
 }

@@ -26,6 +26,7 @@
 #include "support/Diagnostics.h"
 #include "support/SourceLoc.h"
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <optional>
@@ -52,9 +53,37 @@ enum class FaultKind {
   Unsupported,    ///< Construct the interpreter cannot evaluate.
   Injected,       ///< Synthesized by the fault injector (tests only).
   Internal,       ///< Runtime invariant violation — a bug in the runtime.
+  DeadlineExceeded,  ///< Wall-clock deadline fired; the run was cancelled
+                     ///< cooperatively (dispenser drain + rollback).
+  ResourceExhausted, ///< Memory budget exceeded at allocation time.
 };
 
 const char *faultKindName(FaultKind K);
+
+/// True for fault kinds that describe an exhausted *request* (deadline,
+/// memory budget) rather than misbehaving program semantics. Replaying such
+/// a fault serially cannot recover it — the budget stays blown — so the
+/// runtime takes the rollback-and-report path even under
+/// FaultAction::Replay.
+inline bool faultIsResourceLimit(FaultKind K) {
+  return K == FaultKind::DeadlineExceeded || K == FaultKind::ResourceExhausted;
+}
+
+/// Cooperative cancellation flag shared between a watchdog (the daemon's
+/// deadline scanner, mfpar's --deadline-ms thread) and the interpreter.
+/// cancel() is sticky; the interpreter polls cancelled() at iteration and
+/// chunk boundaries and raises a DeadlineExceeded fault through the normal
+/// containment path (first-fault-wins publication, dispenser drain,
+/// write-set rollback), so a cancelled request leaves memory in its
+/// pre-loop state exactly like any other contained fault.
+class CancelToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_release); }
+  bool cancelled() const { return Flag.load(std::memory_order_acquire); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
 
 /// One contained runtime fault, with enough context to act on it: where in
 /// the source, in which loop and iteration, on which worker, and what value

@@ -150,7 +150,7 @@ struct Value {
 // Memory
 //===----------------------------------------------------------------------===//
 
-Memory::Memory(const Program &P) {
+Memory::Memory(const Program &P, size_t LimitBytes) {
   analysis::GlobalConstants Consts(P);
   Buffers.resize(P.numSymbols());
 
@@ -199,6 +199,13 @@ Memory::Memory(const Program &P) {
   // the allocator into the ground.
   constexpr size_t MaxElems = size_t(1) << 31;
 
+  // Running total against the optional per-run budget. Enforced *before*
+  // each buffer's allocation, so an over-budget program raises a structured
+  // ResourceExhausted fault instead of driving the process into bad_alloc
+  // (or the OOM killer) — essential for the daemon, where one tenant's
+  // allocation must never take down its neighbors.
+  size_t TotalBytes = 0;
+
   for (const Symbol *S : P.symbols()) {
     Buffer &B = Buffers[S->id()];
     B.Kind = S->elementKind();
@@ -220,6 +227,13 @@ Memory::Memory(const Program &P) {
                 static_cast<int64_t>(MaxElems));
       Elems = Next;
     }
+    TotalBytes += Elems * 8; // Both element kinds are 8 bytes wide.
+    if (LimitBytes && TotalBytes > LimitBytes)
+      faultAt(FaultKind::ResourceExhausted,
+              S->rank() ? S->extent(0)->loc() : SourceLoc{},
+              "memory budget exceeded allocating program arrays", S,
+              /*HasValue=*/true, static_cast<int64_t>(TotalBytes),
+              static_cast<int64_t>(LimitBytes));
     if (B.Kind == ScalarKind::Int)
       B.I.assign(Elems, 0);
     else
@@ -296,6 +310,81 @@ std::string ExecStats::RuntimeDecision::str() const {
 }
 
 //===----------------------------------------------------------------------===//
+// RuntimeCaches
+//===----------------------------------------------------------------------===//
+
+namespace iaa {
+namespace interp {
+
+/// Session-lifetime execution state: every per-loop memo that is sound
+/// beyond a single run() — plus the lazily built worker pool — owned by the
+/// Interpreter and borrowed by each run's Exec. Reusing these across runs is
+/// what makes a daemon session cheap: the second request for a cached
+/// program pays no re-inspection, no re-lowering, no thread spawns.
+///
+/// Soundness across runs: every run starts from a fresh Memory whose
+/// version counters evolve deterministically for a fixed program and option
+/// set, so version-keyed entries (inspection verdicts, locality
+/// permutations) hit exactly when the inspected data is bit-identical to
+/// the run that populated them. The purely structural memos (body weights,
+/// write sets, bytecode, model picks) depend only on the AST.
+class RuntimeCaches {
+public:
+  /// Static body-weight estimates for the profitability guard.
+  std::map<const mf::DoStmt *, int64_t> BodyWeights;
+
+  /// Cached inspection verdict for one runtime-conditional loop, valid
+  /// while the bounds and every inspected array's version are unchanged.
+  struct InspectionEntry {
+    bool Pass = false;
+    int64_t Lo = 0, Up = 0;
+    std::vector<std::pair<unsigned, uint64_t>> Versions;
+    std::string Detail;
+  };
+  std::map<const mf::DoStmt *, InspectionEntry> InspectionCache;
+
+  /// Memoized footprint-model pick for one loop.
+  struct ModelEntry {
+    int64_t NIter = -1;
+    unsigned Threads = 0;
+    sched::SchedulePick Pick;
+  };
+  std::map<const mf::DoStmt *, ModelEntry> ModelCache;
+  std::optional<sched::GatherFootprintModel> Model;
+
+  /// Cached locality permutation for one conditional loop, valid while the
+  /// bounds and every checked array's version are unchanged.
+  struct ReorderEntry {
+    int64_t Lo = 0, Up = 0;
+    std::vector<std::pair<unsigned, uint64_t>> Versions;
+    std::shared_ptr<const std::vector<int64_t>> Order;
+    uint64_t LinesTouched = 0;
+  };
+  std::map<const mf::DoStmt *, ReorderEntry> ReorderCache;
+
+  /// Memoized per-loop write sets for post-join version bumps.
+  std::map<const mf::DoStmt *, std::vector<const mf::Symbol *>> LoopWriteSets;
+  std::optional<analysis::SymbolUses> UsesForVersions;
+
+  /// Compiled-bytecode store. Private by default; the daemon's artifact
+  /// cache swaps in a per-program shared store (setBytecodeCache) so
+  /// concurrent sessions of one cached program lower each loop once.
+  std::shared_ptr<vm::BytecodeCache> Bytecode =
+      std::make_shared<vm::BytecodeCache>();
+  /// Loops whose compile outcome this session already counted in its stats
+  /// (a shared store may hand us results some other session compiled).
+  std::set<const mf::DoStmt *> VmSeen;
+
+  /// Session-owned fork/join pool, created on the first threaded parallel
+  /// loop without a usable ExecOptions::SharedPool; its workers park
+  /// between loops and between runs.
+  std::unique_ptr<WorkerPool> OwnPool;
+};
+
+} // namespace interp
+} // namespace iaa
+
+//===----------------------------------------------------------------------===//
 // Execution
 //===----------------------------------------------------------------------===//
 
@@ -304,8 +393,9 @@ namespace {
 class Exec {
 public:
   Exec(const Program &P, Memory &Mem, const ExecOptions &Opts,
-       ExecStats *Stats, FaultState &FS)
-      : Prog(P), Mem(Mem), Opts(Opts), Stats(Stats), FS(FS) {
+       ExecStats *Stats, FaultState &FS, RuntimeCaches &Caches)
+      : Prog(P), Mem(Mem), Opts(Opts), Stats(Stats), FS(FS), C(Caches),
+        Cancel(Opts.Cancel) {
     // Pre-compute per-array dimension extents for subscript linearization.
     analysis::GlobalConstants Consts(P);
     DimExtents.resize(P.numSymbols());
@@ -463,6 +553,19 @@ private:
     }
   };
 
+  /// Cooperative deadline poll: raises a DeadlineExceeded fault once the
+  /// run's cancel token fired. Polled at iteration granularity in every
+  /// execution loop (and at chunk granularity on the VM engine), so a blown
+  /// deadline unwinds through the same containment machinery as any other
+  /// runtime fault — workers drain, the transaction rolls back, and the
+  /// caller gets a structured fault instead of a wedged thread. A no-op
+  /// without a token, so untimed runs pay one null check per iteration.
+  void checkCancel(SourceLoc Loc, const Frame &F) {
+    if (Cancel && Cancel->cancelled())
+      fault(FaultKind::DeadlineExceeded, Loc, F,
+            "wall-clock deadline exceeded; run cancelled");
+  }
+
   /// Test-only: raises the configured injected fault when the hook matches
   /// this (loop, iteration, worker, context). A no-op without an injector,
   /// so production runs pay one null check per iteration.
@@ -506,23 +609,28 @@ private:
   }
 
   /// Returns the bytecode program for \p DS under --engine=vm, or null when
-  /// the loop must stay on the tree walk. Compilation happens once per loop
-  /// per run and is memoized — including bailouts, so a rejected loop pays
-  /// the compile attempt only once. The pipeline's structural pre-check
+  /// the loop must stay on the tree walk. Compilation is memoized in the
+  /// session's bytecode store — including bailouts, so a rejected loop pays
+  /// the compile attempt only once no matter how many runs or (under a
+  /// shared store) sessions execute it. The pipeline's structural pre-check
   /// (LoopPlan::VmBailout) short-circuits loops it already rejected.
   const vm::LoopProgram *vmProgramFor(const DoStmt *DS,
                                       const xform::LoopPlan *Plan) {
     if (Opts.Engine != ExecEngine::Vm)
       return nullptr;
-    auto It = VmCache.find(DS);
-    if (It == VmCache.end()) {
-      vm::CompileResult R;
+    const vm::CompileResult &R = C.Bytecode->getOrCompile(DS, [&] {
+      vm::CompileResult New;
       if (Plan && !Plan->VmEligible && !Plan->VmBailout.empty())
-        R.Bailout = Plan->VmBailout;
+        New.Bailout = Plan->VmBailout;
       else
-        R = vm::compileLoop(DS, DimExtents);
-      It = VmCache.emplace(DS, std::move(R)).first;
-      if (It->second.Ok) {
+        New = vm::compileLoop(DS, DimExtents);
+      return New;
+    });
+    // Count the outcome once per *session*, not once per store insert: with
+    // a shared store the compile may have happened in another session, but
+    // each session still reports every distinct loop it ran on the VM.
+    if (C.VmSeen.insert(DS).second) {
+      if (R.Ok) {
         ++vm_loops_compiled;
         if (Stats)
           ++Stats->VmLoopsCompiled;
@@ -532,7 +640,19 @@ private:
           ++Stats->VmBailouts;
       }
     }
-    return It->second.Ok ? &It->second.Prog : nullptr;
+    return R.Ok ? &R.Prog : nullptr;
+  }
+
+  /// The fork/join pool for a \p T-worker dispatch: the shared pool when
+  /// the caller provided one large enough (the daemon passes its
+  /// process-wide pool so N sessions share one set of threads), else the
+  /// session-owned pool, created on first use and persisted across runs.
+  WorkerPool *poolFor(unsigned T) {
+    if (Opts.SharedPool && Opts.SharedPool->maxWorkers() >= T)
+      return Opts.SharedPool;
+    if (!C.OwnPool || C.OwnPool->maxWorkers() < T)
+      C.OwnPool = std::make_unique<WorkerPool>(std::max(Opts.Threads, T));
+    return C.OwnPool.get();
   }
 
   Buffer &bufferFor(const Symbol *S, Frame &F) {
@@ -871,6 +991,7 @@ private:
       const auto *WS = cast<WhileStmt>(S);
       unsigned Guard = 0;
       while (eval(WS->condition(), F).truthy()) {
+        checkCancel(WS->loc(), F);
         execBody(WS->body(), F);
         if (++Guard > 100000000u)
           fault(FaultKind::IterationGuard, WS->loc(), F,
@@ -991,6 +1112,7 @@ private:
       F.CurLoop = DS;
       for (int64_t I = Lo; Step > 0 ? I <= Up : I >= Up; I += Step) {
         F.CurIter = I;
+        checkCancel(DS->loc(), F);
         checkInjection(DS, I, F);
         setScalar(DS->indexVar(), I, F);
         execBody(DS->body(), F);
@@ -1148,6 +1270,17 @@ private:
     auto RunChunk = [&](unsigned W, int64_t First, int64_t Last,
                         unsigned ChunkId) {
       trace::TraceScope ChunkSpan("chunk", "interp");
+      // Chunk-granularity deadline poll: covers the VM engine (whose chunk
+      // bodies cannot poll) and turns the dispenser drain a fired token
+      // causes into a structured fault instead of a silent partial run.
+      if (Cancel && Cancel->cancelled()) {
+        Frame FC;
+        FC.InParallel = true;
+        FC.CurLoop = DS;
+        FC.CurIter = First;
+        FC.Worker = W;
+        checkCancel(DS->loc(), FC);
+      }
       double ProfStartUs = Rec ? Rec->nowUs() : 0.0;
       Timer CT;
       WorkerState &WS = Workers[W];
@@ -1184,6 +1317,7 @@ private:
         for (int64_t Pos = First; Pos <= Last; ++Pos) {
           int64_t I = Order ? (*Order)[size_t(Pos - Lo)] : Pos;
           FW.CurIter = I;
+          checkCancel(DS->loc(), FW);
           checkInjection(DS, I, FW);
           setScalar(DS->indexVar(), I, FW);
           execBody(DS->body(), FW);
@@ -1246,9 +1380,7 @@ private:
       double Overhead = Opts.ForkAlpha + Opts.ForkBeta * T;
       VirtualAdjust += SumChunks - (MaxClock + Overhead);
     } else {
-      if (!Pool || Pool->maxWorkers() < T)
-        Pool = std::make_unique<WorkerPool>(Opts.Threads);
-      Pool->run(T, [&](unsigned W) {
+      poolFor(T)->run(T, [&](unsigned W) {
         // Nothing may escape this lambda: an exception crossing into
         // WorkerPool::workerLoop would std::terminate the process. A
         // structured fault is trapped and published first-fault-wins;
@@ -1328,7 +1460,12 @@ private:
       if (Stats)
         ++Stats->FaultRollbacks;
 
-      if (Opts.OnFault == FaultAction::Report) {
+      // Resource-limit faults (deadline, memory budget) are never replayed,
+      // whatever the policy: serially re-running the loop cannot un-blow a
+      // budget — it would just burn the daemon's wall clock a second time.
+      // Rollback-and-report preserves the transactional guarantee.
+      if (Opts.OnFault == FaultAction::Report ||
+          faultIsResourceLimit(First.Kind)) {
         if (Rec)
           Rec->Detail = "worker fault: rolled back, reported";
         addFaultRemark(DS, First, "rolled back, reported", nullptr);
@@ -1358,6 +1495,7 @@ private:
       try {
         for (int64_t I = Lo; I <= Up; ++I) {
           FR.CurIter = I;
+          checkCancel(DS->loc(), FR);
           checkInjection(DS, I, FR);
           setScalar(DS->indexVar(), I, FR);
           execBody(DS->body(), FR);
@@ -1468,7 +1606,7 @@ private:
   }
 
   int64_t bodyWeight(const DoStmt *DS) {
-    auto [It, Inserted] = BodyWeights.try_emplace(DS, 0);
+    auto [It, Inserted] = C.BodyWeights.try_emplace(DS, 0);
     if (Inserted)
       for (const Stmt *Sub : DS->body())
         It->second = satAdd(It->second, stmtWeight(Sub));
@@ -1484,11 +1622,11 @@ private:
   /// both the post-join version bumps and the transactional snapshot of
   /// the fault-containment path.
   const std::vector<const Symbol *> &loopWriteSet(const DoStmt *DS) {
-    if (!UsesForVersions)
-      UsesForVersions.emplace(Prog);
-    auto [It, Inserted] = LoopWriteSets.try_emplace(DS);
+    if (!C.UsesForVersions)
+      C.UsesForVersions.emplace(Prog);
+    auto [It, Inserted] = C.LoopWriteSets.try_emplace(DS);
     if (Inserted) {
-      analysis::UseSet U = UsesForVersions->bodyUses(DS->body());
+      analysis::UseSet U = C.UsesForVersions->bodyUses(DS->body());
       It->second.assign(U.Writes.begin(), U.Writes.end());
       It->second.push_back(DS->indexVar());
     }
@@ -1545,8 +1683,8 @@ private:
     Versions.erase(std::unique(Versions.begin(), Versions.end()),
                    Versions.end());
 
-    auto [It, Inserted] = InspectionCache.try_emplace(DS);
-    InspectionEntry &E = It->second;
+    auto [It, Inserted] = C.InspectionCache.try_emplace(DS);
+    RuntimeCaches::InspectionEntry &E = It->second;
     if (!Inserted && E.Lo == Lo && E.Up == Up && E.Versions == Versions) {
       ++interp_inspections_cached;
       recordDecision(DS, /*Cached=*/true, E.Pass, E.Detail);
@@ -1561,11 +1699,8 @@ private:
     // The inspection scans parallelize on the same pool the loop itself
     // would use; in simulate mode they run on the calling thread.
     WorkerPool *InsPool = nullptr;
-    if (!Opts.Simulate && Opts.Threads > 1) {
-      if (!Pool)
-        Pool = std::make_unique<WorkerPool>(Opts.Threads);
-      InsPool = Pool.get();
-    }
+    if (!Opts.Simulate && Opts.Threads > 1)
+      InsPool = poolFor(Opts.Threads);
     E.Pass = true;
     E.Detail.clear();
     for (const auto &C : Plan.RuntimeChecks) {
@@ -1600,11 +1735,11 @@ private:
   /// body is static, so those are the only inputs that can move the pick).
   const sched::SchedulePick &modelPickFor(const DoStmt *DS, int64_t NIter,
                                           unsigned T) {
-    auto [It, Inserted] = ModelCache.try_emplace(DS);
-    ModelEntry &E = It->second;
+    auto [It, Inserted] = C.ModelCache.try_emplace(DS);
+    RuntimeCaches::ModelEntry &E = It->second;
     if (Inserted || E.NIter != NIter || E.Threads != T) {
-      if (!Model)
-        Model.emplace(Prog);
+      if (!C.Model)
+        C.Model.emplace(Prog);
       const xform::LoopPlan *Plan = nullptr;
       if (Opts.Plans) {
         if (const xform::LoopPlan *P = Opts.Plans->planFor(DS))
@@ -1612,7 +1747,7 @@ private:
         else if (const xform::LoopPlan *C = Opts.Plans->conditionalPlanFor(DS))
           Plan = C;
       }
-      E.Pick = Model->pick(Model->score(DS, Plan), NIter, T);
+      E.Pick = C.Model->pick(C.Model->score(DS, Plan), NIter, T);
       E.NIter = NIter;
       E.Threads = T;
     }
@@ -1656,8 +1791,8 @@ private:
     Versions.erase(std::unique(Versions.begin(), Versions.end()),
                    Versions.end());
 
-    auto [It, Inserted] = ReorderCache.try_emplace(DS);
-    ReorderEntry &E = It->second;
+    auto [It, Inserted] = C.ReorderCache.try_emplace(DS);
+    RuntimeCaches::ReorderEntry &E = It->second;
     if (!Inserted && E.Lo == Lo && E.Up == Up && E.Versions == Versions) {
       ++interp_locality_reorders_cached;
       if (Stats)
@@ -1691,44 +1826,11 @@ private:
   /// Per-run fault summary (owned by Interpreter); execDo accumulates
   /// trapped-fault, rollback, and replay counts here.
   FaultState &FS;
+  /// Session-lifetime per-loop caches and pool (owned by Interpreter).
+  RuntimeCaches &C;
+  /// The run's cooperative deadline token (null when untimed).
+  const CancelToken *Cancel;
   std::vector<std::vector<int64_t>> DimExtents;
-  std::map<const DoStmt *, int64_t> BodyWeights;
-  /// Memoized bytecode compilations (successes and bailouts) under
-  /// --engine=vm; keyed per loop, like the other per-loop caches.
-  std::map<const DoStmt *, vm::CompileResult> VmCache;
-
-  /// Cached inspection verdict for one runtime-conditional loop, valid
-  /// while the bounds and every inspected array's version are unchanged.
-  struct InspectionEntry {
-    bool Pass = false;
-    int64_t Lo = 0, Up = 0;
-    std::vector<std::pair<unsigned, uint64_t>> Versions;
-    std::string Detail;
-  };
-  std::map<const DoStmt *, InspectionEntry> InspectionCache;
-
-  /// Memoized footprint-model pick for one loop.
-  struct ModelEntry {
-    int64_t NIter = -1;
-    unsigned Threads = 0;
-    sched::SchedulePick Pick;
-  };
-  std::map<const DoStmt *, ModelEntry> ModelCache;
-  std::optional<sched::GatherFootprintModel> Model;
-
-  /// Cached locality permutation for one conditional loop, valid while the
-  /// bounds and every checked array's version are unchanged.
-  struct ReorderEntry {
-    int64_t Lo = 0, Up = 0;
-    std::vector<std::pair<unsigned, uint64_t>> Versions;
-    std::shared_ptr<const std::vector<int64_t>> Order;
-    uint64_t LinesTouched = 0;
-  };
-  std::map<const DoStmt *, ReorderEntry> ReorderCache;
-
-  /// Memoized per-loop write sets for post-join version bumps.
-  std::map<const DoStmt *, std::vector<const Symbol *>> LoopWriteSets;
-  std::optional<analysis::SymbolUses> UsesForVersions;
 
   /// Active shadow monitors, innermost last (non-empty only under
   /// ExecOptions::RaceCheck, inside plan-marked loops).
@@ -1739,13 +1841,22 @@ private:
   /// it — the fork publishes it, the join synchronizes before the next
   /// mutation.
   prof::LoopRecorder *ProfCur = nullptr;
-  /// Created lazily on the first threaded parallel loop; its workers park
-  /// on a condition variable between loops and are joined for good when the
-  /// run finishes.
-  std::unique_ptr<WorkerPool> Pool;
 };
 
 } // namespace
+
+Interpreter::Interpreter(const mf::Program &P)
+    : Prog(P), Caches(std::make_unique<RuntimeCaches>()) {}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::setBytecodeCache(std::shared_ptr<vm::BytecodeCache> Cache) {
+  Caches->Bytecode =
+      Cache ? std::move(Cache) : std::make_shared<vm::BytecodeCache>();
+  // Stats are counted once per session per loop; a new store means results
+  // this session has not yet accounted for.
+  Caches->VmSeen.clear();
+}
 
 Memory Interpreter::run(const ExecOptions &Opts, ExecStats *Stats) {
   if (Opts.Engine == ExecEngine::Both) {
@@ -1811,8 +1922,8 @@ Memory Interpreter::run(const ExecOptions &Opts, ExecStats *Stats) {
   // never out of run(), never to std::abort. The returned memory holds the
   // state at the fault; rolled-back loops were already restored.
   try {
-    Mem = Memory(Prog);
-    E.emplace(Prog, Mem, Opts, Stats, LastFault);
+    Mem = Memory(Prog, Opts.MemLimitBytes);
+    E.emplace(Prog, Mem, Opts, Stats, LastFault, *Caches);
     E->runMain();
   } catch (FaultException &FE) {
     ++interp_faults_trapped;

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -44,6 +45,10 @@ namespace iaa {
 namespace prof {
 class Session;
 } // namespace prof
+
+namespace vm {
+class BytecodeCache;
+} // namespace vm
 
 namespace interp {
 
@@ -75,7 +80,12 @@ public:
   /// the element-count multiply is overflow-checked and the total
   /// allocation is capped, so a hostile extent can neither wrap to a
   /// too-small buffer nor drive the process out of memory.
-  explicit Memory(const mf::Program &P);
+  ///
+  /// \p LimitBytes > 0 additionally enforces a per-request memory budget:
+  /// when the running total of buffer bytes would exceed it, allocation
+  /// stops with a structured ResourceExhausted fault (never a bad_alloc),
+  /// carrying the requested total and the budget as value/bound.
+  explicit Memory(const mf::Program &P, size_t LimitBytes = 0);
 
   Buffer &buffer(const mf::Symbol *S) { return Buffers[S->id()]; }
   const Buffer &buffer(const mf::Symbol *S) const { return Buffers[S->id()]; }
@@ -199,6 +209,23 @@ struct ExecOptions {
   /// register bytecode (bailing back to the tree walk per loop); Both runs
   /// the program on each engine and checks bit-identical results.
   ExecEngine Engine = ExecEngine::Interp;
+  /// Cooperative cancellation (request deadlines). When set, the
+  /// interpreter polls the token at iteration and chunk boundaries; a fired
+  /// token raises a DeadlineExceeded fault through the normal containment
+  /// path — parallel loops drain the dispenser, roll back their write-set
+  /// snapshot, and the run unwinds with faultState() reporting the
+  /// deadline. Resource-limit faults skip serial replay (the budget stays
+  /// blown), so OnFault=Replay degrades to rollback-and-report for them.
+  const CancelToken *Cancel = nullptr;
+  /// Per-request memory budget in bytes forwarded to the Memory
+  /// constructor by Interpreter::run; 0 = unlimited. Over-budget
+  /// allocation faults ResourceExhausted before touching the heap.
+  size_t MemLimitBytes = 0;
+  /// Shared fork/join pool (the mfpard daemon shares one across requests).
+  /// Used when it has at least Threads workers; otherwise the interpreter
+  /// lazily builds its own pool as before. Concurrent requests serialize
+  /// at fork/join granularity inside WorkerPool::run.
+  WorkerPool *SharedPool = nullptr;
 };
 
 /// Classification of one dynamically observed cross-iteration conflict.
@@ -317,11 +344,28 @@ struct ExecStats {
   unsigned BothMismatches = 0;
 };
 
+/// Session-lifetime runtime caches. One Interpreter owns one instance, so
+/// inspector verdicts (keyed on Buffer::Version counters), locality
+/// permutations, footprint-model schedules, body-weight estimates, loop
+/// write-sets, and compiled VM bytecode persist across run() calls — a
+/// daemon session re-running the same cached program skips re-inspection
+/// and re-lowering on later requests. Defined in Interpreter.cpp; opaque
+/// here.
+class RuntimeCaches;
+
 /// Runs \p P (starting at "main") against fresh memory; returns the final
-/// memory and fills \p Stats if given.
+/// memory and fills \p Stats if given. An Interpreter may be reused across
+/// runs (a daemon session keeps one per cached program): its RuntimeCaches
+/// carry version-keyed verdicts between runs, which is sound because every
+/// run starts from fresh Memory whose version counters evolve
+/// deterministically.
 class Interpreter {
 public:
-  explicit Interpreter(const mf::Program &P) : Prog(P) {}
+  explicit Interpreter(const mf::Program &P);
+  ~Interpreter();
+
+  Interpreter(const Interpreter &) = delete;
+  Interpreter &operator=(const Interpreter &) = delete;
 
   /// Executes the program; the returned Memory holds the final state. A
   /// program-level fault never aborts the process: serial faults unwind
@@ -333,9 +377,16 @@ public:
   /// Fault summary of the most recent run (reset on each run call).
   const FaultState &faultState() const { return LastFault; }
 
+  /// Installs a shared compiled-bytecode store (the daemon artifact cache
+  /// shares one per cached program, so one session's lowering work is
+  /// visible to every session running that program). Call between runs,
+  /// not during one. Null restores the private per-interpreter store.
+  void setBytecodeCache(std::shared_ptr<vm::BytecodeCache> Cache);
+
 private:
   const mf::Program &Prog;
   FaultState LastFault;
+  std::unique_ptr<RuntimeCaches> Caches;
 };
 
 } // namespace interp

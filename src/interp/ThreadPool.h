@@ -37,8 +37,15 @@ namespace interp {
 /// loops. run(T, Fn) wakes workers 1..T-1, runs Fn(0) on the calling thread,
 /// and returns when every woken worker finished — the join synchronizes, so
 /// results written by workers are visible to the caller without extra
-/// fences. Only one run() may be active at a time (parallel loops do not
-/// nest in the interpreter).
+/// fences. Concurrent run() calls from different threads (the mfpard daemon
+/// shares one pool across requests) serialize on an internal mutex, so each
+/// fork/join generation belongs to exactly one caller; parallel loops never
+/// nest within a single interpreter.
+///
+/// Each generation propagates the calling thread's per-session context — the
+/// installed stat::Collector and trace::Buffer — into the workers, so
+/// counters and spans produced inside a shared pool still land in the
+/// session that forked the loop.
 class WorkerPool {
 public:
   /// Spawns \p MaxWorkers - 1 parked threads (worker 0 is the caller).
@@ -51,7 +58,8 @@ public:
   unsigned maxWorkers() const { return MaxWorkers; }
 
   /// Runs \p Fn(W) for W in [0, Workers); Workers must not exceed
-  /// maxWorkers(). Worker 0 executes on the calling thread.
+  /// maxWorkers(). Worker 0 executes on the calling thread. Blocks while
+  /// another thread's run() is in flight.
   void run(unsigned Workers, const std::function<void(unsigned)> &Fn);
 
   /// Fork/join generations completed so far (one per run() call).
@@ -63,6 +71,8 @@ private:
   unsigned MaxWorkers;
   std::vector<std::thread> Threads;
 
+  /// Serializes whole run() calls across requester threads.
+  std::mutex RunM;
   std::mutex M;
   std::condition_variable WakeCv; ///< Signals a new generation or shutdown.
   std::condition_variable DoneCv; ///< Signals Outstanding reached zero.

@@ -1,0 +1,107 @@
+//===- server/Client.cpp - Blocking mfpard client -------------------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace iaa;
+using namespace iaa::server;
+
+bool Client::connect(const std::string &SocketPath, std::string *Err) {
+  close();
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + SocketPath;
+    close();
+    return false;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = std::string("connect ") + SocketPath + ": " +
+             std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::roundTrip(const std::string &RequestLine,
+                       std::string &ResponseLine, std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  std::string Frame = RequestLine + "\n";
+  size_t Off = 0;
+  while (Off < Frame.size()) {
+    ssize_t N = ::send(Fd, Frame.data() + Off, Frame.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return readLine(ResponseLine, Err);
+}
+
+bool Client::readLine(std::string &Line, std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  char Chunk[4096];
+  while (true) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return true;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N == 0) {
+      if (Err)
+        *Err = "connection closed by daemon";
+      return false;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+}

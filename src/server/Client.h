@@ -1,0 +1,57 @@
+//===- server/Client.h - Blocking mfpard client -----------------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the mfpard wire protocol: connect to the
+/// Unix socket, send one JSON line, read one JSON line back. Used by the
+/// daemon tests, the daemon benchmark, and as the reference client example
+/// in the README.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SERVER_CLIENT_H
+#define IAA_SERVER_CLIENT_H
+
+#include <string>
+
+namespace iaa {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon socket; false (with \p Err) on failure.
+  bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends \p RequestLine (newline appended) and blocks for one response
+  /// line. False on any I/O failure or peer hang-up. Note a daemon under
+  /// load may answer a fresh connection with a "shed" line and close.
+  bool roundTrip(const std::string &RequestLine, std::string &ResponseLine,
+                 std::string *Err = nullptr);
+
+  /// Reads one response line without sending (for shed responses pushed
+  /// on connect-time overload).
+  bool readLine(std::string &Line, std::string *Err = nullptr);
+
+  void close();
+
+private:
+  int Fd = -1;
+  std::string Buf; ///< Bytes read past the last returned line.
+};
+
+} // namespace server
+} // namespace iaa
+
+#endif // IAA_SERVER_CLIENT_H

@@ -1,0 +1,77 @@
+//===- server/Watchdog.cpp - Wall-clock deadline watchdog -----------------===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Watchdog.h"
+
+#include <vector>
+
+using namespace iaa;
+using namespace iaa::server;
+
+Watchdog::Watchdog() : Th([this] { loop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  Cv.notify_all();
+  Th.join();
+}
+
+uint64_t Watchdog::arm(std::chrono::steady_clock::time_point Deadline,
+                       std::shared_ptr<interp::CancelToken> Token) {
+  uint64_t Id;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Id = NextId++;
+    Pending.emplace(Id, Armed{Deadline, std::move(Token)});
+  }
+  Cv.notify_all(); // The new deadline may be the earliest.
+  return Id;
+}
+
+void Watchdog::disarm(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  Pending.erase(Id);
+}
+
+uint64_t Watchdog::fired() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Fired;
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (!Stop) {
+    // Sleep until the earliest pending deadline (or indefinitely when
+    // idle); arm() and the destructor poke the condition variable.
+    if (Pending.empty()) {
+      Cv.wait(Lock, [&] { return Stop || !Pending.empty(); });
+      continue;
+    }
+    auto Earliest = std::chrono::steady_clock::time_point::max();
+    for (const auto &[Id, A] : Pending)
+      Earliest = std::min(Earliest, A.Deadline);
+    Cv.wait_until(Lock, Earliest);
+    if (Stop)
+      return;
+    // Fire everything that expired. Tokens are fired outside no lock —
+    // cancel() is a relaxed store on an atomic, safe under M and cheap
+    // enough that holding it cannot stall arm()/disarm() meaningfully.
+    auto Now = std::chrono::steady_clock::now();
+    std::vector<uint64_t> Expired;
+    for (auto &[Id, A] : Pending)
+      if (A.Deadline <= Now) {
+        A.Token->cancel();
+        Expired.push_back(Id);
+        ++Fired;
+      }
+    for (uint64_t Id : Expired)
+      Pending.erase(Id);
+  }
+}

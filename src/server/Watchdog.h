@@ -1,0 +1,96 @@
+//===- server/Watchdog.h - Wall-clock deadline watchdog ---------*- C++ -*-===//
+//
+// Part of the IAA project, an open-source reproduction of
+// "Compiler Analysis of Irregular Memory Accesses" (Lin & Padua, PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One timer thread serving every in-flight request deadline: arm()
+/// registers a CancelToken against an absolute steady-clock deadline,
+/// disarm() withdraws it on completion. When a deadline passes, the
+/// watchdog fires the token — the run then cancels cooperatively (the
+/// interpreter polls at iteration granularity, the chunk dispenser drains
+/// its workers) and surfaces a structured DeadlineExceeded fault. The
+/// watchdog never touches the run's thread directly; there is nothing to
+/// kill, so a fired deadline can never tear shared daemon state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IAA_SERVER_WATCHDOG_H
+#define IAA_SERVER_WATCHDOG_H
+
+#include "interp/Fault.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace iaa {
+namespace server {
+
+class Watchdog {
+public:
+  Watchdog();
+  ~Watchdog();
+
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+  /// Fires \p Token once \p Deadline passes (unless disarmed first).
+  /// Returns a handle for disarm().
+  uint64_t arm(std::chrono::steady_clock::time_point Deadline,
+               std::shared_ptr<interp::CancelToken> Token);
+
+  /// Withdraws a deadline; a no-op if it already fired. Idempotent.
+  void disarm(uint64_t Id);
+
+  /// Deadlines that fired before being disarmed.
+  uint64_t fired() const;
+
+  /// RAII arm/disarm for one request: arms only when \p Ms > 0.
+  class Scope {
+  public:
+    Scope(Watchdog &W, uint64_t Ms,
+          std::shared_ptr<interp::CancelToken> Token)
+        : W(W),
+          Id(Ms ? W.arm(std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(Ms),
+                        std::move(Token))
+                : 0) {}
+    ~Scope() {
+      if (Id)
+        W.disarm(Id);
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Watchdog &W;
+    uint64_t Id;
+  };
+
+private:
+  void loop();
+
+  mutable std::mutex M;
+  std::condition_variable Cv;
+  struct Armed {
+    std::chrono::steady_clock::time_point Deadline;
+    std::shared_ptr<interp::CancelToken> Token;
+  };
+  std::map<uint64_t, Armed> Pending;
+  uint64_t NextId = 1;
+  uint64_t Fired = 0;
+  bool Stop = false;
+  std::thread Th; ///< Last member: started after the state it reads.
+};
+
+} // namespace server
+} // namespace iaa
+
+#endif // IAA_SERVER_WATCHDOG_H

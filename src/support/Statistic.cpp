@@ -47,6 +47,49 @@ std::vector<Statistic *> sortedRegistry() {
 
 } // namespace
 
+thread_local Collector *iaa::stat::detail::TlsCollector = nullptr;
+
+void Collector::note(const Statistic *S, uint64_t N) {
+  std::lock_guard<std::mutex> Lock(M);
+  Counts[S] += N;
+}
+
+uint64_t Collector::value(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &[S, N] : Counts)
+    if (Name == S->name())
+      return N;
+  return 0;
+}
+
+std::map<std::string, uint64_t> Collector::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[S, N] : Counts)
+    if (N != 0)
+      Out[std::string(S->group()) + "." + S->name()] = N;
+  return Out;
+}
+
+std::string Collector::json() const {
+  std::map<std::string, uint64_t> Snap = snapshot();
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, N] : Snap) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += json::str(Name) + ":" + std::to_string(N);
+  }
+  Out += "}";
+  return Out;
+}
+
+void Collector::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Counts.clear();
+}
+
 Statistic::Statistic(const char *Group, const char *Name, const char *Desc)
     : Group(Group), Name(Name), Desc(Desc) {
   std::lock_guard<std::mutex> Lock(registryMutex());

@@ -22,6 +22,15 @@
 /// measured (the mfpar --stats flag and the observability tests rely on
 /// this).
 ///
+/// Multi-tenant processes (the mfpard daemon) cannot share one registry of
+/// process-wide counters: request A's inspections would show up in request
+/// B's report. A stat::Collector is the per-session overlay — installed
+/// thread-locally via CollectorScope, it additionally receives every
+/// increment made on the installing thread (and on worker threads the
+/// WorkerPool propagates it to), so a session can report exactly the
+/// counter deltas its own requests produced while the global registry keeps
+/// its process-wide totals.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IAA_SUPPORT_STATISTIC_H
@@ -29,11 +38,70 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace iaa {
 namespace stat {
+
+class Statistic;
+
+/// Per-session counter overlay: accumulates the deltas of every increment
+/// made while the collector is installed (CollectorScope / currentCollector)
+/// on the incrementing thread. Thread-safe — one session's pool workers all
+/// funnel into the same collector.
+class Collector {
+public:
+  /// Adds \p N to this collector's delta for \p S.
+  void note(const Statistic *S, uint64_t N);
+
+  /// This collector's delta for the statistic named \p Name (0 when never
+  /// incremented here).
+  uint64_t value(const std::string &Name) const;
+
+  /// All nonzero deltas as "group.name" -> delta, sorted.
+  std::map<std::string, uint64_t> snapshot() const;
+
+  /// One JSON object {"group.name": delta, ...} over the nonzero deltas.
+  std::string json() const;
+
+  /// Drops every delta.
+  void clear();
+
+private:
+  mutable std::mutex M;
+  std::unordered_map<const Statistic *, uint64_t> Counts;
+};
+
+namespace detail {
+/// The collector receiving this thread's increments, or null. Managed by
+/// CollectorScope; read inline on every increment (one TLS load).
+extern thread_local Collector *TlsCollector;
+} // namespace detail
+
+/// The collector installed on this thread, or null.
+inline Collector *currentCollector() { return detail::TlsCollector; }
+
+/// RAII installation of a per-session collector on the current thread.
+/// Nests: the previous collector is restored on destruction. Installing
+/// null is a no-op overlay (increments go only to the global registry),
+/// which lets context propagation be unconditional.
+class CollectorScope {
+public:
+  explicit CollectorScope(Collector *C) : Prev(detail::TlsCollector) {
+    detail::TlsCollector = C;
+  }
+  ~CollectorScope() { detail::TlsCollector = Prev; }
+
+  CollectorScope(const CollectorScope &) = delete;
+  CollectorScope &operator=(const CollectorScope &) = delete;
+
+private:
+  Collector *Prev;
+};
 
 /// One named counter. Construction registers it globally; instances must
 /// have static storage duration (the registry keeps raw pointers).
@@ -48,12 +116,11 @@ public:
   uint64_t value() const { return Count.load(std::memory_order_relaxed); }
   void reset() { Count.store(0, std::memory_order_relaxed); }
 
-  Statistic &operator++() {
-    Count.fetch_add(1, std::memory_order_relaxed);
-    return *this;
-  }
+  Statistic &operator++() { return *this += 1; }
   Statistic &operator+=(uint64_t N) {
     Count.fetch_add(N, std::memory_order_relaxed);
+    if (Collector *C = detail::TlsCollector)
+      C->note(this, N);
     return *this;
   }
 

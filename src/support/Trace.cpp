@@ -22,6 +22,7 @@ using namespace iaa::trace;
 IAA_STAT(trace_dropped, "Trace events discarded by the buffer cap");
 
 std::atomic<bool> iaa::trace::detail::Enabled{false};
+thread_local Buffer *iaa::trace::detail::TlsBuffer = nullptr;
 
 namespace {
 
@@ -29,128 +30,85 @@ using Clock = std::chrono::steady_clock;
 
 constexpr size_t DefaultMaxEvents = size_t(1) << 18;
 
-struct Collector {
-  std::mutex Mutex;
-  std::deque<Event> Events;
-  size_t MaxEvents = DefaultMaxEvents;
-  size_t Dropped = 0;
-  Clock::time_point Origin = Clock::now();
-  uint32_t NextTid = 0;
-
-  /// Appends under the buffer cap, discarding the oldest event when full.
-  /// Caller must hold Mutex.
-  void append(Event &&E) {
-    if (Events.size() >= MaxEvents) {
-      Events.pop_front();
-      ++Dropped;
-      ++trace_dropped;
-    }
-    Events.push_back(std::move(E));
-  }
-};
-
-Collector &collector() {
-  static Collector C;
-  return C;
-}
-
-double nowMicros() {
-  return std::chrono::duration<double, std::micro>(Clock::now() -
-                                                   collector().Origin)
-      .count();
-}
-
-/// Dense thread ids: assigned once per thread on first traced span.
+/// Dense thread ids: assigned once per thread on first traced span, from a
+/// process-wide counter so ids stay unique across per-session buffers.
 uint32_t currentTid() {
-  thread_local uint32_t Tid = [] {
-    Collector &C = collector();
-    std::lock_guard<std::mutex> Lock(C.Mutex);
-    return C.NextTid++;
-  }();
+  static std::atomic<uint32_t> NextTid{0};
+  thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
   return Tid;
 }
 
 } // namespace
 
-void iaa::trace::enable(bool On) {
-  detail::Enabled.store(On, std::memory_order_relaxed);
-}
+struct Buffer::Impl {
+  mutable std::mutex Mutex;
+  std::deque<Event> Events;
+  size_t MaxEvents = DefaultMaxEvents;
+  size_t Dropped = 0;
+  Clock::time_point Origin = Clock::now();
+};
 
-void iaa::trace::clear() {
-  Collector &C = collector();
-  std::lock_guard<std::mutex> Lock(C.Mutex);
-  C.Events.clear();
-  C.Dropped = 0;
-  C.Origin = Clock::now();
-}
+Buffer::Buffer() : I(new Impl) {}
+Buffer::~Buffer() { delete I; }
 
-size_t iaa::trace::eventCount() {
-  Collector &C = collector();
-  std::lock_guard<std::mutex> Lock(C.Mutex);
-  return C.Events.size();
-}
-
-void iaa::trace::setMaxEvents(size_t Max) {
-  Collector &C = collector();
-  std::lock_guard<std::mutex> Lock(C.Mutex);
-  C.MaxEvents = Max == 0 ? DefaultMaxEvents : Max;
-  while (C.Events.size() > C.MaxEvents) {
-    C.Events.pop_front();
-    ++C.Dropped;
-    ++trace_dropped;
+void Buffer::append(Event E) {
+  bool DroppedOne = false;
+  {
+    std::lock_guard<std::mutex> Lock(I->Mutex);
+    if (I->Events.size() >= I->MaxEvents) {
+      I->Events.pop_front();
+      ++I->Dropped;
+      DroppedOne = true;
+    }
+    I->Events.push_back(std::move(E));
   }
+  if (DroppedOne)
+    ++trace_dropped;
 }
 
-size_t iaa::trace::droppedCount() {
-  Collector &C = collector();
-  std::lock_guard<std::mutex> Lock(C.Mutex);
-  return C.Dropped;
+void Buffer::clear() {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  I->Events.clear();
+  I->Dropped = 0;
+  I->Origin = Clock::now();
 }
 
-std::vector<Event> iaa::trace::events() {
-  Collector &C = collector();
-  std::lock_guard<std::mutex> Lock(C.Mutex);
-  return std::vector<Event>(C.Events.begin(), C.Events.end());
+size_t Buffer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  return I->Events.size();
 }
 
-void iaa::trace::counter(const std::string &Name, double Value) {
-  if (!enabled())
-    return;
-  Event E;
-  E.Name = Name;
-  E.Cat = "counter";
-  E.Ph = 'C';
-  E.TsMicros = nowMicros();
-  E.Value = Value;
-  E.Tid = currentTid();
-  Collector &C = collector();
-  std::lock_guard<std::mutex> Lock(C.Mutex);
-  C.append(std::move(E));
+void Buffer::setMaxEvents(size_t Max) {
+  size_t DroppedNow = 0;
+  {
+    std::lock_guard<std::mutex> Lock(I->Mutex);
+    I->MaxEvents = Max == 0 ? DefaultMaxEvents : Max;
+    while (I->Events.size() > I->MaxEvents) {
+      I->Events.pop_front();
+      ++I->Dropped;
+      ++DroppedNow;
+    }
+  }
+  if (DroppedNow)
+    trace_dropped += DroppedNow;
 }
 
-void TraceScope::begin(const char *N, const char *C) {
-  Active = true;
-  Name = N;
-  Cat = C;
-  (void)currentTid(); // Assign the tid before timing starts.
-  StartMicros = nowMicros();
+size_t Buffer::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  return I->Dropped;
 }
 
-void TraceScope::end() {
-  double End = nowMicros();
-  Event E;
-  E.Name = Name;
-  E.Cat = Cat;
-  E.TsMicros = StartMicros;
-  E.DurMicros = End - StartMicros;
-  E.Tid = currentTid();
-  E.Args = std::move(Args);
-  Collector &C = collector();
-  std::lock_guard<std::mutex> Lock(C.Mutex);
-  C.append(std::move(E));
+double Buffer::nowMicros() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() - I->Origin)
+      .count();
 }
 
-std::string iaa::trace::json() {
+std::vector<Event> Buffer::events() const {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  return std::vector<Event>(I->Events.begin(), I->Events.end());
+}
+
+std::string Buffer::json() const {
   std::vector<Event> Evs = events();
   size_t Dropped = droppedCount();
   std::string Out = "{\"traceEvents\": [";
@@ -188,10 +146,80 @@ std::string iaa::trace::json() {
   return Out;
 }
 
-bool iaa::trace::writeJson(const std::string &Path) {
+bool Buffer::writeJson(const std::string &Path) const {
   std::ofstream Out(Path);
   if (!Out)
     return false;
   Out << json();
   return static_cast<bool>(Out);
+}
+
+namespace {
+
+Buffer &globalBuffer() {
+  static Buffer B;
+  return B;
+}
+
+/// The buffer this thread's spans land in: the installed per-session one,
+/// else the process-wide one.
+Buffer &targetBuffer() {
+  return detail::TlsBuffer ? *detail::TlsBuffer : globalBuffer();
+}
+
+} // namespace
+
+void iaa::trace::enable(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+void iaa::trace::clear() { targetBuffer().clear(); }
+
+size_t iaa::trace::eventCount() { return targetBuffer().eventCount(); }
+
+void iaa::trace::setMaxEvents(size_t Max) { targetBuffer().setMaxEvents(Max); }
+
+size_t iaa::trace::droppedCount() { return targetBuffer().droppedCount(); }
+
+std::vector<Event> iaa::trace::events() { return targetBuffer().events(); }
+
+void iaa::trace::counter(const std::string &Name, double Value) {
+  if (!enabled())
+    return;
+  Buffer &B = targetBuffer();
+  Event E;
+  E.Name = Name;
+  E.Cat = "counter";
+  E.Ph = 'C';
+  E.TsMicros = B.nowMicros();
+  E.Value = Value;
+  E.Tid = currentTid();
+  B.append(std::move(E));
+}
+
+void TraceScope::begin(const char *N, const char *C) {
+  Active = true;
+  Name = N;
+  Cat = C;
+  (void)currentTid(); // Assign the tid before timing starts.
+  StartMicros = targetBuffer().nowMicros();
+}
+
+void TraceScope::end() {
+  Buffer &B = targetBuffer();
+  double End = B.nowMicros();
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.TsMicros = StartMicros;
+  E.DurMicros = End - StartMicros;
+  E.Tid = currentTid();
+  E.Args = std::move(Args);
+  B.append(std::move(E));
+}
+
+std::string iaa::trace::json() { return targetBuffer().json(); }
+
+bool iaa::trace::writeJson(const std::string &Path) {
+  return targetBuffer().writeJson(Path);
 }

@@ -25,6 +25,13 @@
 /// dense thread id, so fork/join parallel loops render as per-thread
 /// swimlanes exposing work imbalance and fork/join overhead.
 ///
+/// Events land in a trace::Buffer. One process-wide buffer backs the free
+/// functions below (the mfpar --trace flag); a multi-tenant process (the
+/// mfpard daemon) instead installs a per-session Buffer thread-locally via
+/// BufferScope so concurrent requests never interleave spans — the
+/// WorkerPool propagates the installing thread's buffer to its workers for
+/// the duration of each parallel region.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IAA_SUPPORT_TRACE_H
@@ -39,14 +46,26 @@
 namespace iaa {
 namespace trace {
 
+class Buffer;
+
 namespace detail {
 extern std::atomic<bool> Enabled;
+/// The buffer receiving this thread's spans, or null for the process-wide
+/// one. Managed by BufferScope.
+extern thread_local Buffer *TlsBuffer;
 } // namespace detail
 
-/// True when span collection is on. Inline and relaxed: this is the only
-/// cost instrumented code pays when tracing is disabled.
+/// The per-session buffer installed on this thread, or null when spans go
+/// to the process-wide buffer.
+inline Buffer *currentBuffer() { return detail::TlsBuffer; }
+
+/// True when span collection is on: either globally (trace::enable) or
+/// because a per-session buffer is installed on this thread. One relaxed
+/// atomic load plus one TLS load — still the only cost instrumented code
+/// pays when tracing is disabled.
 inline bool enabled() {
-  return detail::Enabled.load(std::memory_order_relaxed);
+  return detail::Enabled.load(std::memory_order_relaxed) ||
+         detail::TlsBuffer != nullptr;
 }
 
 /// Turns collection on or off. Enabling does not clear prior events.
@@ -95,6 +114,66 @@ std::string json();
 
 /// Writes json() to \p Path; false on I/O failure.
 bool writeJson(const std::string &Path);
+
+/// One span buffer: a bounded deque of events with its own time origin and
+/// drop counter. The free functions above operate on the current thread's
+/// buffer (the process-wide instance when none is installed); sessions own
+/// private instances and install them with BufferScope. All methods are
+/// thread-safe.
+class Buffer {
+public:
+  Buffer();
+  ~Buffer();
+
+  Buffer(const Buffer &) = delete;
+  Buffer &operator=(const Buffer &) = delete;
+
+  /// Appends under the buffer cap, discarding the oldest event when full
+  /// (counted by droppedCount() and the trace_dropped statistic).
+  void append(Event E);
+
+  /// Drops all events and resets the time origin and the dropped count.
+  void clear();
+
+  size_t eventCount() const;
+
+  /// Caps the buffer; \p Max = 0 restores the default (1<<18 events).
+  void setMaxEvents(size_t Max);
+
+  size_t droppedCount() const;
+
+  /// Microseconds since this buffer's time origin.
+  double nowMicros() const;
+
+  std::vector<Event> events() const;
+
+  /// Chrome trace-event JSON document over this buffer's events.
+  std::string json() const;
+
+  /// Writes json() to \p Path; false on I/O failure.
+  bool writeJson(const std::string &Path) const;
+
+private:
+  struct Impl;
+  Impl *I;
+};
+
+/// RAII installation of a per-session buffer on the current thread. Nests;
+/// installing null routes spans back to the process-wide buffer, which lets
+/// context propagation be unconditional.
+class BufferScope {
+public:
+  explicit BufferScope(Buffer *B) : Prev(detail::TlsBuffer) {
+    detail::TlsBuffer = B;
+  }
+  ~BufferScope() { detail::TlsBuffer = Prev; }
+
+  BufferScope(const BufferScope &) = delete;
+  BufferScope &operator=(const BufferScope &) = delete;
+
+private:
+  Buffer *Prev;
+};
 
 /// RAII span. Inactive (a no-op) when tracing is disabled at construction.
 class TraceScope {

@@ -26,6 +26,9 @@
 
 #include "vm/Bytecode.h"
 
+#include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +54,36 @@ const char *structuralBailout(const mf::DoStmt *DS);
 /// the interpreter's subscript linearization uses).
 CompileResult compileLoop(const mf::DoStmt *DS,
                           const std::vector<std::vector<int64_t>> &DimExtents);
+
+/// Memoized compile results (successes *and* bailouts), keyed per loop.
+/// One interpreter session owns a private store by default; the mfpard
+/// artifact cache shares one store per cached program across sessions, so
+/// a loop is lowered once no matter how many concurrent sessions run it.
+/// Thread-safe; entry addresses are stable for the cache's lifetime.
+class BytecodeCache {
+public:
+  /// Returns the memoized result for \p DS, invoking \p Compile under the
+  /// cache lock on first use (duplicate concurrent compiles are thereby
+  /// impossible; lowering is fast relative to execution).
+  const CompileResult &
+  getOrCompile(const mf::DoStmt *DS,
+               const std::function<CompileResult()> &Compile) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Cache.find(DS);
+    if (It == Cache.end())
+      It = Cache.emplace(DS, Compile()).first;
+    return It->second;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Cache.size();
+  }
+
+private:
+  mutable std::mutex M;
+  std::map<const mf::DoStmt *, CompileResult> Cache;
+};
 
 } // namespace vm
 } // namespace iaa

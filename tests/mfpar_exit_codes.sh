@@ -3,6 +3,8 @@
 #   0  success
 #   2  bad flag / flag value
 #   4  the program faulted at runtime (--on-fault=report/replay)
+#   5  the --deadline-ms wall-clock deadline fired mid-run
+#   6  the --mem-limit-mb array-memory budget was exceeded
 #   SIGABRT under --on-fault=abort (the driver aborts; the interpreter
 #   itself always unwinds cleanly)
 #
@@ -73,6 +75,33 @@ check 4 "runtime fault, replay policy" \
   "$MFPAR" "$TMP/oob.mf" --run=2 --on-fault=replay
 check 4 "runtime fault, report policy" \
   "$MFPAR" "$TMP/oob.mf" --run=2 --on-fault=report
+
+# A loop big enough (8M iterations) that a 1 ms deadline always fires
+# mid-run, while 60 s never does; its array (64 MB) also overflows a 1 MB
+# budget at allocation time, before a single iteration runs.
+cat >"$TMP/big.mf" <<'EOF'
+program t
+  integer i
+  real x(8000000)
+  lp: do i = 1, 8000000
+    x(i) = i * 1.0
+  end do
+end
+EOF
+
+check 2 "bad --deadline-ms value" "$MFPAR" "$TMP/big.mf" --deadline-ms=soon
+check 2 "negative --deadline-ms" "$MFPAR" "$TMP/big.mf" --deadline-ms=-5
+check 2 "bad --mem-limit-mb value" "$MFPAR" "$TMP/big.mf" --mem-limit-mb=big
+check 2 "zero --mem-limit-mb" "$MFPAR" "$TMP/big.mf" --mem-limit-mb=0
+check 0 "generous deadline" "$MFPAR" "$TMP/big.mf" --run=2 --deadline-ms=60000
+check 5 "blown deadline" "$MFPAR" "$TMP/big.mf" --run=2 --deadline-ms=1
+grep -q "deadline-exceeded" "$TMP/err" ||
+  { echo "FAIL: deadline fault missing from stderr" >&2; FAILURES=$((FAILURES + 1)); }
+check 0 "generous memory budget" \
+  "$MFPAR" "$TMP/big.mf" --run=2 --mem-limit-mb=256
+check 6 "blown memory budget" "$MFPAR" "$TMP/big.mf" --run=2 --mem-limit-mb=1
+grep -q "resource-exhausted" "$TMP/err" ||
+  { echo "FAIL: budget fault missing from stderr" >&2; FAILURES=$((FAILURES + 1)); }
 
 # --on-fault=abort keeps the legacy behavior: the driver aborts the
 # process (SIGABRT = 134 from sh) after printing the fault.

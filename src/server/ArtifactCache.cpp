@@ -10,18 +10,23 @@
 #include "mf/Parser.h"
 #include "support/Remarks.h"
 
-#include <cstdio>
-
 using namespace iaa;
 using namespace iaa::server;
 
-uint64_t server::hashSource(const std::string &Source) {
-  uint64_t H = 14695981039346656037ull;
-  for (unsigned char C : Source) {
-    H ^= C;
-    H *= 1099511628211ull;
-  }
-  return H;
+std::string server::artifactKey(const std::string &Source,
+                                xform::PipelineMode Mode,
+                                verify::AuditMode Audit) {
+  // Flags first: mode/audit names contain no '|', so the prefix parses
+  // unambiguously no matter what bytes the source holds. Keying on the
+  // full source text (not a 64-bit hash of it) is deliberate — a
+  // non-cryptographic hash has constructible collisions, and a collision
+  // would silently serve one tenant another program's compiled artifact.
+  std::string Key = xform::pipelineModeName(Mode);
+  Key += '|';
+  Key += verify::auditModeName(Audit);
+  Key += '|';
+  Key += Source;
+  return Key;
 }
 
 namespace {
@@ -61,13 +66,7 @@ std::shared_ptr<const Artifact> buildArtifact(const std::string &Source,
 std::shared_ptr<const Artifact>
 ArtifactCache::get(const std::string &Source, xform::PipelineMode Mode,
                    verify::AuditMode Audit, bool &Hit) {
-  char KeyBuf[64];
-  std::snprintf(KeyBuf, sizeof(KeyBuf), "%016llx|",
-                static_cast<unsigned long long>(hashSource(Source)));
-  std::string Key = KeyBuf;
-  Key += xform::pipelineModeName(Mode);
-  Key += '|';
-  Key += verify::auditModeName(Audit);
+  std::string Key = artifactKey(Source, Mode, Audit);
 
   std::shared_ptr<Entry> E;
   {

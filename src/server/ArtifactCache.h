@@ -6,8 +6,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The daemon's cross-session store of compile artifacts, keyed by program
-/// hash plus the artifact-shaping flags (pipeline mode, audit mode). An
+/// The daemon's cross-session store of compile artifacts, content-keyed by
+/// the full source text plus the artifact-shaping flags (pipeline mode,
+/// audit mode) — not by a source hash, so two distinct programs can never
+/// alias one cache slot and be served each other's compiles. An
 /// artifact owns everything the pipeline produced for one source text: the
 /// parsed (and pass-mutated) Program, its loop plans, the audit verdicts,
 /// and the shared bytecode store the VM engine fills lazily. Sessions pin
@@ -58,8 +60,12 @@ struct Artifact {
   bool ok() const { return BuildError.empty(); }
 };
 
-/// FNV-1a 64-bit content hash used for the cache key.
-uint64_t hashSource(const std::string &Source);
+/// The cache key for (\p Source, \p Mode, \p Audit): flag names first
+/// (they contain no '|'), then the full source text. Content keying makes
+/// collisions between distinct programs impossible, unlike the FNV-1a
+/// hash key this replaced.
+std::string artifactKey(const std::string &Source, xform::PipelineMode Mode,
+                        verify::AuditMode Audit);
 
 class ArtifactCache {
 public:

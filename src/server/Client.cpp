@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -45,15 +46,20 @@ bool Client::connect(const std::string &SocketPath, std::string *Err) {
 
 bool Client::roundTrip(const std::string &RequestLine,
                        std::string &ResponseLine, std::string *Err) {
+  if (!sendRaw(RequestLine + "\n", Err))
+    return false;
+  return readLine(ResponseLine, Err);
+}
+
+bool Client::sendRaw(const std::string &Bytes, std::string *Err) {
   if (Fd < 0) {
     if (Err)
       *Err = "not connected";
     return false;
   }
-  std::string Frame = RequestLine + "\n";
   size_t Off = 0;
-  while (Off < Frame.size()) {
-    ssize_t N = ::send(Fd, Frame.data() + Off, Frame.size() - Off,
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
                        MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
@@ -64,7 +70,24 @@ bool Client::roundTrip(const std::string &RequestLine,
     }
     Off += static_cast<size_t>(N);
   }
-  return readLine(ResponseLine, Err);
+  return true;
+}
+
+bool Client::setRecvTimeoutMs(uint64_t Ms, std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  timeval Tv{};
+  Tv.tv_sec = static_cast<time_t>(Ms / 1000);
+  Tv.tv_usec = static_cast<suseconds_t>((Ms % 1000) * 1000);
+  if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) < 0) {
+    if (Err)
+      *Err = std::string("setsockopt: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
 }
 
 bool Client::readLine(std::string &Line, std::string *Err) {

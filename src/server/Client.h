@@ -40,6 +40,16 @@ public:
   bool roundTrip(const std::string &RequestLine, std::string &ResponseLine,
                  std::string *Err = nullptr);
 
+  /// Sends \p Bytes with no framing at all — the seam the protocol tests
+  /// use to stream hostile input (oversized frames, split frames) at the
+  /// daemon byte by byte.
+  bool sendRaw(const std::string &Bytes, std::string *Err = nullptr);
+
+  /// Bounds every subsequent receive: readLine()/roundTrip() fail instead
+  /// of blocking forever when no response arrives within \p Ms. Lets tests
+  /// assert liveness (a served connection) without risking a hang.
+  bool setRecvTimeoutMs(uint64_t Ms, std::string *Err = nullptr);
+
   /// Reads one response line without sending (for shed responses pushed
   /// on connect-time overload).
   bool readLine(std::string &Line, std::string *Err = nullptr);

@@ -101,6 +101,7 @@ void Daemon::stop() {
     return;
   Stopping.store(true, std::memory_order_release);
   QueueCv.notify_all();
+  ShutdownCv.notify_all();
   if (Acceptor.joinable())
     Acceptor.join();
   for (std::thread &T : Services)
@@ -119,12 +120,12 @@ void Daemon::stop() {
   }
   ::unlink(Config.SocketPath.c_str());
   Pool.reset();
-  QueueCv.notify_all(); // Wake waitForShutdown().
+  ShutdownCv.notify_all(); // Wake waitForShutdown().
 }
 
 void Daemon::waitForShutdown() {
   std::unique_lock<std::mutex> Lock(QueueM);
-  QueueCv.wait(Lock, [&] {
+  ShutdownCv.wait(Lock, [&] {
     return ShutdownRequested.load(std::memory_order_acquire) ||
            Stopping.load(std::memory_order_acquire) ||
            !Running.load(std::memory_order_acquire);
@@ -133,7 +134,7 @@ void Daemon::waitForShutdown() {
 
 bool Daemon::waitForShutdown(uint64_t TimeoutMs) {
   std::unique_lock<std::mutex> Lock(QueueM);
-  return QueueCv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs), [&] {
+  return ShutdownCv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs), [&] {
     return ShutdownRequested.load(std::memory_order_acquire) ||
            Stopping.load(std::memory_order_acquire) ||
            !Running.load(std::memory_order_acquire);
@@ -147,7 +148,7 @@ void Daemon::acceptLoop() {
     pollfd P{ListenFd, POLLIN, 0};
     int R = ::poll(&P, 1, 200);
     if (ShutdownRequested.load(std::memory_order_acquire)) {
-      QueueCv.notify_all();
+      ShutdownCv.notify_all();
       return;
     }
     if (R <= 0)
@@ -245,16 +246,25 @@ void Daemon::serveConnection(int Fd) {
       if (!sendAll(Fd, S.handleLine(Line) + "\n"))
         return;
       if (ShutdownRequested.load(std::memory_order_acquire)) {
-        QueueCv.notify_all();
+        ShutdownCv.notify_all();
         return;
       }
     }
     Buf.erase(0, Start);
 
+    // Still inside a discarded oversized frame (no newline yet): every
+    // buffered byte belongs to that frame, so drop them all. Memory stays
+    // bounded however much the client streams before the resynchronizing
+    // newline arrives.
+    if (Discarding) {
+      Buf.clear();
+      continue;
+    }
+
     // A frame longer than the bound with no newline yet: answer the error
     // now and discard until the terminator, so one hostile client cannot
     // make the daemon buffer arbitrary bytes.
-    if (!Discarding && Buf.size() > Config.MaxRequestBytes) {
+    if (Buf.size() > Config.MaxRequestBytes) {
       Counters.Requests.fetch_add(1, std::memory_order_relaxed);
       Counters.Errors.fetch_add(1, std::memory_order_relaxed);
       std::string Err = errorResponse("", "request frame exceeds " +

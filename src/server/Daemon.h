@@ -100,6 +100,13 @@ private:
 
   std::mutex QueueM;
   std::condition_variable QueueCv;
+  /// Shutdown waiters get their own cv: if waitForShutdown() waited on
+  /// QueueCv, the acceptor's notify_one for a freshly queued connection
+  /// could wake it instead of a service thread — it would re-check its
+  /// predicate, go back to sleep, and the connection would sit in
+  /// PendingFds until the next notify (a lost wakeup the mfpard binary,
+  /// whose main thread parks in waitForShutdown, actually hit).
+  std::condition_variable ShutdownCv;
   std::deque<int> PendingFds;
 
   std::thread Acceptor;

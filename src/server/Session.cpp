@@ -10,8 +10,6 @@
 #include "prof/Profiler.h"
 #include "support/Json.h"
 
-#include <cstdio>
-
 using namespace iaa;
 using namespace iaa::server;
 
@@ -22,10 +20,9 @@ Session::Session(SessionEnv E) : Env(E) {
 }
 
 Session::ProgramState &Session::stateFor(const Request &R, bool &CacheHit) {
-  char KeyBuf[32];
-  std::snprintf(KeyBuf, sizeof(KeyBuf), "%016llx|",
-                static_cast<unsigned long long>(hashSource(R.Source)));
-  std::string Key = KeyBuf + R.flagKey();
+  // Content-keyed like the artifact cache: the full source, never a hash
+  // of it, so two distinct programs cannot alias one state slot.
+  std::string Key = artifactKey(R.Source, R.Mode, R.Audit);
 
   auto [It, Inserted] = Programs.try_emplace(Key);
   ProgramState &PS = It->second;
@@ -42,6 +39,24 @@ Session::ProgramState &Session::stateFor(const Request &R, bool &CacheHit) {
     // This session already holds the artifact; the cross-session cache
     // was not consulted, but for the client it is still a hit.
     CacheHit = true;
+  }
+  PS.LastUse = ++ProgramClock;
+
+  // LRU-recycle past the bound, never the state being returned. Erasing
+  // releases the evictee's artifact pin and interpreter; a re-submission
+  // rebuilds from the (still cached) artifact.
+  while (Programs.size() > MaxPrograms) {
+    auto Victim = Programs.end();
+    for (auto I = Programs.begin(); I != Programs.end(); ++I) {
+      if (I == It)
+        continue;
+      if (Victim == Programs.end() ||
+          I->second.LastUse < Victim->second.LastUse)
+        Victim = I;
+    }
+    if (Victim == Programs.end())
+      break;
+    Programs.erase(Victim);
   }
   return PS;
 }

@@ -98,18 +98,28 @@ public:
   /// Requests this session has handled.
   uint64_t requestsHandled() const { return Handled; }
 
+  /// Resident per-program states (bounded by MaxPrograms).
+  size_t programCount() const { return Programs.size(); }
+
 private:
   Response handleRun(const Request &R);
   Response handleCompile(const Request &R);
   Response handleStats(const Request &R);
 
-  /// Per-program execution state, kept for the life of the session so
-  /// repeat submissions reuse inspector verdicts, locality permutations,
-  /// model picks, and the artifact's shared bytecode.
+  /// Per-program execution state, kept across requests so repeat
+  /// submissions reuse inspector verdicts, locality permutations, model
+  /// picks, and the artifact's shared bytecode. Content-keyed (flags +
+  /// full source) and bounded: past MaxPrograms entries the
+  /// least-recently-used state is recycled — releasing its artifact pin
+  /// and interpreter (with any private pool) — so a long-lived connection
+  /// cycling through distinct programs cannot grow daemon memory without
+  /// bound, mirroring the bounded trace ring.
   struct ProgramState {
     std::shared_ptr<const Artifact> Art; ///< Pins the Program + plans.
     std::unique_ptr<interp::Interpreter> Interp;
+    uint64_t LastUse = 0; ///< Session-local LRU clock tick.
   };
+  static constexpr size_t MaxPrograms = 16;
   ProgramState &stateFor(const Request &R, bool &CacheHit);
 
   SessionEnv Env;
@@ -117,6 +127,7 @@ private:
   trace::Buffer Trace;
   RemarkSink Remarks;
   std::map<std::string, ProgramState> Programs;
+  uint64_t ProgramClock = 0;
   uint64_t Handled = 0;
 };
 

@@ -60,9 +60,9 @@ void Watchdog::loop() {
     Cv.wait_until(Lock, Earliest);
     if (Stop)
       return;
-    // Fire everything that expired. Tokens are fired outside no lock —
-    // cancel() is a relaxed store on an atomic, safe under M and cheap
-    // enough that holding it cannot stall arm()/disarm() meaningfully.
+    // Fire everything that expired. Tokens are fired while holding M,
+    // which is fine: cancel() is just a relaxed store on an atomic, cheap
+    // enough that holding the lock cannot stall arm()/disarm().
     auto Now = std::chrono::steady_clock::now();
     std::vector<uint64_t> Expired;
     for (auto &[Id, A] : Pending)

@@ -265,6 +265,48 @@ TEST(DaemonProtocol, OversizedFrameIsBounded) {
   expectStatus(S, "{\"op\": \"ping\"}", "pong");
 }
 
+TEST(DaemonProtocol, OversizedStreamIsDiscardedUntilResync) {
+  // A client streaming past the frame bound with no newline gets exactly
+  // one structured error when the bound is crossed; everything after that
+  // is discarded (not buffered — the daemon's memory stays bounded) until
+  // the newline resynchronizes the stream, after which the connection
+  // serves normally again.
+  DaemonConfig Config;
+  Config.SocketPath = uniqueSocketPath("stream");
+  Config.ServiceThreads = 1;
+  Config.MaxRequestBytes = 512;
+  Daemon D(Config);
+  std::string Err;
+  ASSERT_TRUE(D.start(&Err)) << Err;
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(Config.SocketPath, &Err)) << Err;
+  std::string Junk(1024, 'x');
+  ASSERT_TRUE(Cl.sendRaw(Junk, &Err)) << Err;
+  std::string Out;
+  ASSERT_TRUE(Cl.readLine(Out, &Err)) << Err;
+  std::optional<json::Value> V = json::parse(Out);
+  ASSERT_TRUE(V.has_value()) << Out;
+  EXPECT_EQ(V->member("status")->S, "error");
+  EXPECT_NE(V->member("error")->S.find("exceeds"), std::string::npos)
+      << Out;
+
+  // 64 KB more of the same frame: were the daemon still buffering (or
+  // re-answering), these sends would eventually stall against a reader
+  // that stopped draining, and the ping below would see stale errors.
+  for (int I = 0; I < 64; ++I)
+    ASSERT_TRUE(Cl.sendRaw(Junk, &Err)) << Err;
+  ASSERT_TRUE(Cl.sendRaw("\n", &Err)) << Err;
+  ASSERT_TRUE(Cl.roundTrip("{\"op\": \"ping\", \"id\": \"after\"}", Out,
+                           &Err))
+      << Err;
+  V = json::parse(Out);
+  ASSERT_TRUE(V.has_value()) << Out;
+  EXPECT_EQ(V->member("id")->S, "after");
+  EXPECT_EQ(V->member("status")->S, "pong");
+  D.stop();
+}
+
 TEST(DaemonProtocol, ResponsesEchoTheRequestId) {
   SessionHarness H;
   Session S(H.env());
@@ -379,6 +421,32 @@ TEST(DaemonCache, EvictionKeepsTheCacheBounded) {
   auto A = Cache.get(healthySource("evict15"), xform::PipelineMode::Full,
                      verify::AuditMode::Off, Hit);
   EXPECT_TRUE(A->ok());
+}
+
+TEST(SessionPrograms, ResidentProgramStateIsBounded) {
+  // A long-lived connection cycling through distinct programs must not
+  // accumulate a ProgramState (artifact pin + interpreter) per program
+  // forever; the per-session map LRU-recycles past its bound, and an
+  // evicted program resubmits cleanly with its own values.
+  SessionHarness H;
+  Session S(H.env());
+  auto src = [](int K) {
+    return "program p\n  integer i\n  real x(10)\n"
+           "  lp: do i = 1, 10\n    x(i) = i * " + std::to_string(K) +
+           ".0\n  end do\nend\n";
+  };
+  const int Distinct = 40;
+  for (int K = 1; K <= Distinct; ++K)
+    expectStatus(S, requestLine("k" + std::to_string(K), "run", src(K)),
+                 "ok");
+  EXPECT_LE(S.programCount(), 16u);
+  EXPECT_LT(S.programCount(), static_cast<size_t>(Distinct));
+
+  std::string Out = S.handleLine(requestLine("again", "run", src(1)));
+  std::optional<json::Value> V = json::parse(Out);
+  ASSERT_TRUE(V.has_value());
+  ASSERT_EQ(V->member("status")->S, "ok") << Out;
+  EXPECT_EQ(V->member("checksum")->N, referenceChecksum(src(1)));
 }
 
 //===----------------------------------------------------------------------===//
@@ -571,6 +639,59 @@ TEST(DaemonSoak, ConcurrentMixedWorkload) {
 
   D.stop();
   EXPECT_FALSE(D.running());
+}
+
+TEST(DaemonSoak, ConnectionsAreServedWhileWaitForShutdownParks) {
+  // mfpard's main thread parks in waitForShutdown() for the daemon's whole
+  // life. Shutdown waiters must not share the service threads' condition
+  // variable: when they did, the acceptor's notify_one for a freshly
+  // queued connection could wake the parked waiter instead of a service
+  // thread — the waiter re-checked its predicate and slept again, the
+  // notification was consumed, and the connection sat unserved in the
+  // queue (with one service thread, a coin flip per connection). Thirty
+  // fresh connections make a regression essentially certain to trip the
+  // recv timeout below.
+  DaemonConfig Config;
+  Config.SocketPath = uniqueSocketPath("parked");
+  Config.ServiceThreads = 1;
+  Daemon D(Config);
+  std::string Err;
+  ASSERT_TRUE(D.start(&Err)) << Err;
+
+  std::atomic<bool> Parked{false}, Woke{false};
+  std::thread Waiter([&] {
+    Parked.store(true);
+    D.waitForShutdown();
+    Woke.store(true);
+  });
+  while (!Parked.load())
+    std::this_thread::yield();
+
+  for (int I = 0; I < 30; ++I) {
+    Client Cl;
+    std::string Out;
+    ASSERT_TRUE(Cl.connect(Config.SocketPath, &Err)) << Err;
+    ASSERT_TRUE(Cl.setRecvTimeoutMs(5000, &Err)) << Err;
+    ASSERT_TRUE(Cl.roundTrip("{\"op\": \"ping\", \"id\": \"p" +
+                                 std::to_string(I) + "\"}",
+                             Out, &Err))
+        << "connection " << I << " stranded: " << Err;
+    std::optional<json::Value> V = json::parse(Out);
+    ASSERT_TRUE(V.has_value()) << Out;
+    EXPECT_EQ(V->member("status")->S, "pong");
+  }
+
+  // A shutdown request must still reach the parked waiter.
+  Client Cl;
+  std::string Out;
+  ASSERT_TRUE(Cl.connect(Config.SocketPath, &Err)) << Err;
+  ASSERT_TRUE(Cl.setRecvTimeoutMs(5000, &Err)) << Err;
+  ASSERT_TRUE(Cl.roundTrip("{\"op\": \"shutdown\", \"id\": \"bye\"}", Out,
+                           &Err))
+      << Err;
+  Waiter.join();
+  EXPECT_TRUE(Woke.load());
+  D.stop();
 }
 
 TEST(DaemonSoak, ShutdownRequestStopsTheDaemon) {
